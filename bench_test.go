@@ -1,0 +1,258 @@
+// Package prestroid's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (run with `go test -bench=. -benchmem`).
+// Each experiment benchmark builds the shared suite once, then reports the
+// runner's cost; the first iteration of model-backed benchmarks includes
+// training, later iterations reuse the suite's trained-model cache. Micro
+// benchmarks at the bottom profile the hot paths (tree convolution,
+// sub-tree sampling, encoding, parsing).
+package prestroid
+
+import (
+	"sync"
+	"testing"
+
+	"prestroid/internal/costsim"
+	"prestroid/internal/experiments"
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/models"
+	"prestroid/internal/nn"
+	"prestroid/internal/otp"
+	"prestroid/internal/subtree"
+	"prestroid/internal/tensor"
+	"prestroid/internal/treecnn"
+	"prestroid/internal/word2vec"
+	"prestroid/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.TestScale())
+	})
+	return suite
+}
+
+func runExperiment(b *testing.B, run func(*experiments.Suite) *experiments.Table) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = run(s)
+	}
+	b.StopTimer()
+	if b.N > 0 && tbl != nil {
+		b.Log("\n" + tbl.String())
+	}
+}
+
+// BenchmarkTable1NewTables regenerates Table 1 (% unseen tables per window).
+func BenchmarkTable1NewTables(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkFig2PlanDiversity regenerates Fig 2 (node count vs depth scatter).
+func BenchmarkFig2PlanDiversity(b *testing.B) { runExperiment(b, experiments.Fig2) }
+
+// BenchmarkTable2aGrabMSE regenerates Table 2a (MSE on Grab-Traces).
+func BenchmarkTable2aGrabMSE(b *testing.B) { runExperiment(b, experiments.Table2Grab) }
+
+// BenchmarkTable2bTPCDSMSE regenerates Table 2b (MSE on TPC-DS).
+func BenchmarkTable2bTPCDSMSE(b *testing.B) { runExperiment(b, experiments.Table2TPCDS) }
+
+// BenchmarkFig5Provisioning regenerates Fig 5 (over/under provisioning).
+func BenchmarkFig5Provisioning(b *testing.B) { runExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6BatchFootprint regenerates Fig 6 (batch MB + epoch time).
+func BenchmarkFig6BatchFootprint(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7TrainingCost regenerates Fig 7 (training $ vs batch size).
+func BenchmarkFig7TrainingCost(b *testing.B) { runExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8LongTail regenerates Fig 8 (long-tail CDF + top-1% shares).
+func BenchmarkFig8LongTail(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9ScaleOut regenerates Fig 9 (epoch time vs batch per cluster).
+func BenchmarkFig9ScaleOut(b *testing.B) { runExperiment(b, experiments.Fig9) }
+
+// BenchmarkTable3Inference regenerates Table 3 (inference timings).
+func BenchmarkTable3Inference(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+// BenchmarkTable4Stability regenerates Table 4 (MSE std over rounds).
+func BenchmarkTable4Stability(b *testing.B) { runExperiment(b, experiments.Table4) }
+
+// BenchmarkTable5TimeShift regenerates Table 5 (time-shifted MSE).
+func BenchmarkTable5TimeShift(b *testing.B) { runExperiment(b, experiments.Table5) }
+
+// --- micro benchmarks over the hot paths ---
+
+func benchPlan(b *testing.B) *logicalplan.Node {
+	b.Helper()
+	p, err := logicalplan.PlanSQL(`SELECT a.x, COUNT(*) AS n FROM t1 a
+		JOIN t2 b ON a.id = b.id JOIN t3 c ON b.id = c.id
+		WHERE a.x > 5 AND b.y < 3 OR c.z = 7 GROUP BY a.x ORDER BY n DESC LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkSQLParse measures lexing+parsing+planning of a 3-way join query.
+func BenchmarkSQLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := logicalplan.PlanSQL(`SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id
+			WHERE a.x > 5 AND b.y IN (1,2,3) ORDER BY a.x LIMIT 10`)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOTPRecast measures the §4.1 plan-to-binary-tree rewrite.
+func BenchmarkOTPRecast(b *testing.B) {
+	p := benchPlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		otp.Recast(p)
+	}
+}
+
+// BenchmarkSubtreeSampling measures Algorithm 1 over a 1000-node plan.
+func BenchmarkSubtreeSampling(b *testing.B) {
+	plans := workload.GeneratePlanSample(workload.PlanSampleConfig{Count: 1, Seed: 5, MaxNodes: 1000, TailFraction: 1})
+	root := otp.Recast(plans[0])
+	cfg := subtree.Config{N: 15, C: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subtree.Sample(root, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeConvForward measures one conv stack forward over a 15-node
+// sub-tree at paper-like width 512.
+func BenchmarkTreeConvForward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	net := treecnn.NewNetwork(64, []int{512, 512, 512}, rng)
+	tree := &treecnn.Tree{
+		Feats: tensor.New(15, 64),
+		Left:  make([]int, 15),
+		Right: make([]int, 15),
+		Votes: make([]float64, 15),
+	}
+	rng.FillNorm(tree.Feats, 0, 1)
+	for i := range tree.Left {
+		if 2*i+1 < 15 {
+			tree.Left[i] = 2*i + 1
+		} else {
+			tree.Left[i] = -1
+		}
+		if 2*i+2 < 15 {
+			tree.Right[i] = 2*i + 2
+		} else {
+			tree.Right[i] = -1
+		}
+		tree.Votes[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(tree)
+	}
+}
+
+// BenchmarkMatMul measures the 256x256 GEMM kernel under the dense layers.
+func BenchmarkMatMul(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	out := tensor.New(256, 256)
+	rng.FillNorm(x, 0, 1)
+	rng.FillNorm(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+// BenchmarkWord2VecTrain measures predicate-embedding training on a small
+// corpus.
+func BenchmarkWord2VecTrain(b *testing.B) {
+	corpus := make([][]string, 200)
+	words := []string{"longitude", "latitude", "amount", "fee", ">", "<", "=", "between"}
+	rng := tensor.NewRNG(3)
+	for i := range corpus {
+		s := make([]string, 8)
+		for j := range s {
+			s[j] = words[rng.Intn(len(words))]
+		}
+		corpus[i] = s
+	}
+	cfg := word2vec.DefaultConfig(32)
+	cfg.MinCount = 1
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		word2vec.Train(corpus, cfg)
+	}
+}
+
+// BenchmarkPrestroidTrainBatch measures one optimisation step of the
+// sub-tree model on a 32-query batch.
+func BenchmarkPrestroidTrainBatch(b *testing.B) {
+	s := benchSuite(b)
+	cfg := s.PrestroidCfg(15, 9, 1)
+	m := models.NewPrestroid(cfg, s.GrabPipe)
+	batch := s.GrabSplit.Train[:32]
+	m.Prepare(batch)
+	labels := tensor.New(32, 1)
+	for i := range labels.Data {
+		labels.Data[i] = s.GrabNorm.Normalize(batch[i].CPUMinutes())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(batch, labels)
+	}
+}
+
+// BenchmarkDenseForward measures the plain dense-layer pipeline for
+// reference against the tree convolution path.
+func BenchmarkDenseForward(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	net := nn.NewSequential(
+		nn.NewDense(512, 128, rng),
+		nn.NewReLU(),
+		nn.NewDense(128, 64, rng),
+		nn.NewReLU(),
+		nn.NewDense(64, 1, rng),
+		nn.NewSigmoid(),
+	)
+	x := tensor.New(64, 512)
+	rng.FillNorm(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+// BenchmarkCostProfile measures the ground-truth executor over a mid-size
+// plan.
+func BenchmarkCostProfile(b *testing.B) {
+	est := costsim.NewEstimator(1)
+	p := benchPlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Profile(p)
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, experiments.Ablation) }
+
+// BenchmarkDatasetStats regenerates the §3.3 scale comparison.
+func BenchmarkDatasetStats(b *testing.B) { runExperiment(b, experiments.DatasetStats) }
+
+// BenchmarkSweep regenerates the §5.2 hyper-parameter grid.
+func BenchmarkSweep(b *testing.B) { runExperiment(b, experiments.Sweep) }

@@ -1,0 +1,168 @@
+// Command prestroidd runs the Fig-1 inference service: it either loads a
+// previously trained pipeline + weight bundle (written by `prestroidd
+// -train`) or trains a fresh model on a synthetic workload, then serves
+// cost predictions over HTTP.
+//
+//	prestroidd -train -pipeline pipe.bin -weights model.bin   # train & save
+//	prestroidd -pipeline pipe.bin -weights model.bin          # load & serve
+//	prestroidd                                                # train in-memory & serve
+//
+// Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
+// GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/persist"
+	"prestroid/internal/serve"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	doTrain := flag.Bool("train", false, "train and save instead of serving")
+	pipePath := flag.String("pipeline", "", "pipeline bundle path")
+	weightPath := flag.String("weights", "", "weight bundle path")
+	queries := flag.Int("queries", 600, "synthetic training queries")
+	flag.Parse()
+
+	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries); err != nil {
+		log.Fatal("prestroidd: ", err)
+	}
+}
+
+// modelConfig is the fixed serving architecture; persisted weights must
+// match it.
+func modelConfig() models.PrestroidConfig {
+	cfg := models.DefaultPrestroidConfig(15, 9)
+	cfg.ConvWidths = []int{32, 32, 32}
+	cfg.DenseWidths = []int{32, 16}
+	cfg.LR = 5e-3
+	return cfg
+}
+
+func run(addr string, doTrain bool, pipePath, weightPath string, queries int) error {
+	var pred *serve.Predictor
+	switch {
+	case doTrain:
+		return trainAndSave(pipePath, weightPath, queries)
+	case pipePath != "" && weightPath != "":
+		p, err := loadPredictor(pipePath, weightPath, queries)
+		if err != nil {
+			return err
+		}
+		pred = p
+	default:
+		log.Printf("no bundle paths given; training a fresh model on %d synthetic queries", queries)
+		p, err := freshPredictor(queries)
+		if err != nil {
+			return err
+		}
+		pred = p
+	}
+	srv := serve.NewServer(pred)
+	log.Printf("serving %s on %s", pred.Model.Name(), addr)
+	return http.ListenAndServe(addr, srv)
+}
+
+// buildTraining generates the workload and trains the serving model.
+func buildTraining(queries int) (*models.Pipeline, *models.Prestroid, workload.Normalizer, error) {
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = queries
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	if len(traces) < queries/2 {
+		return nil, nil, workload.Normalizer{}, fmt.Errorf("workload generation starved: %d traces", len(traces))
+	}
+	split := dataset.SplitRandom(traces, 1)
+	norm := workload.FitNormalizer(split.Train)
+	pcfg := models.DefaultPipelineConfig(16)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+	m := models.NewPrestroid(modelConfig(), pipe)
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 20
+	tcfg.Patience = 5
+	res := train.Run(m, split, norm, tcfg)
+	log.Printf("trained %s: best epoch %d, test MSE %.1f min²", m.Name(), res.BestEpoch, res.TestMSE)
+	return pipe, m, norm, nil
+}
+
+func trainAndSave(pipePath, weightPath string, queries int) error {
+	if pipePath == "" || weightPath == "" {
+		return fmt.Errorf("-train requires -pipeline and -weights output paths")
+	}
+	pipe, m, norm, err := buildTraining(queries)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Create(pipePath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := persist.SavePipeline(pf, pipe); err != nil {
+		return err
+	}
+	wf, err := os.Create(weightPath)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	if err := persist.SaveWeights(wf, m); err != nil {
+		return err
+	}
+	// The normaliser is tiny; record it next to the weights for operators.
+	log.Printf("saved pipeline to %s and weights to %s (normaliser: logmin=%.4f logmax=%.4f)",
+		pipePath, weightPath, norm.LogMin, norm.LogMax)
+	return nil
+}
+
+func loadPredictor(pipePath, weightPath string, queries int) (*serve.Predictor, error) {
+	pf, err := os.Open(pipePath)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	pipe, err := persist.LoadPipeline(pf)
+	if err != nil {
+		return nil, err
+	}
+	m := models.NewPrestroid(modelConfig(), pipe)
+	wf, err := os.Open(weightPath)
+	if err != nil {
+		return nil, err
+	}
+	defer wf.Close()
+	if err := persist.LoadWeights(wf, m); err != nil {
+		return nil, err
+	}
+	// Rebuild the normaliser the same deterministic way training did.
+	norm := rebuildNormalizer(queries)
+	return &serve.Predictor{Model: m, Pipe: pipe, Norm: norm}, nil
+}
+
+// rebuildNormalizer regenerates the training workload's normaliser (the
+// generators are deterministic, so this reproduces training-time bounds).
+func rebuildNormalizer(queries int) workload.Normalizer {
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = queries
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 1)
+	return workload.FitNormalizer(split.Train)
+}
+
+func freshPredictor(queries int) (*serve.Predictor, error) {
+	pipe, m, norm, err := buildTraining(queries)
+	if err != nil {
+		return nil, err
+	}
+	return &serve.Predictor{Model: m, Pipe: pipe, Norm: norm}, nil
+}

@@ -1,0 +1,95 @@
+// Capacity planning: the paper's motivating scenario (Fig 1). A trained
+// cost model fronts the cluster: each incoming query's CPU demand is
+// predicted before execution and the platform provisions VMs accordingly.
+// This example trains a model, replays a day of queries, and reports how
+// the predicted provisioning compares with the resources actually consumed
+// — the Fig 5 over/under-provisioning view, plus the VM-count decision a
+// platform team would make from it.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"prestroid/internal/cloudsim"
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+// vCPUMinutesPerVM is the per-hour CPU-minute budget of one worker VM
+// (16 vCPUs x 60 minutes, derated to 80% utilisation).
+const vCPUMinutesPerVM = 16 * 60 * 0.8
+
+func main() {
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 700
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 2)
+	norm := workload.FitNormalizer(split.Train)
+
+	pcfg := models.DefaultPipelineConfig(16)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+
+	mcfg := models.DefaultPrestroidConfig(32, 11)
+	mcfg.ConvWidths = []int{32, 32, 32}
+	mcfg.DenseWidths = []int{32, 16}
+	mcfg.LR = 5e-3
+	model := models.NewPrestroid(mcfg, pipe)
+
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 20
+	tcfg.Patience = 5
+	res := train.Run(model, split, norm, tcfg)
+	fmt.Printf("trained %s: test MSE %.1f min²\n\n", model.Name(), res.TestMSE)
+
+	// Replay the test traces as "today's incoming workload".
+	incoming := split.Test
+	preds := model.Predict(incoming)
+
+	var predicted, actual, over, under float64
+	for i, tr := range incoming {
+		p := norm.Denormalize(preds.Data[i])
+		a := tr.CPUMinutes()
+		predicted += p
+		actual += a
+		if p > a {
+			over += p - a
+		} else {
+			under += a - p
+		}
+	}
+
+	fmt.Printf("incoming queries:        %d\n", len(incoming))
+	fmt.Printf("predicted CPU demand:    %.0f CPU-minutes\n", predicted)
+	fmt.Printf("actual CPU consumption:  %.0f CPU-minutes\n", actual)
+	fmt.Printf("over-provisioned:        %.1f%% of actual\n", 100*over/actual)
+	fmt.Printf("under-provisioned:       %.1f%% of actual\n", 100*under/actual)
+	fmt.Printf("net provisioning error:  %+.1f%%\n\n", 100*(predicted-actual)/actual)
+
+	// The platform decision: how many worker VMs to keep warm this hour.
+	needPredicted := int(math.Ceil(predicted / vCPUMinutesPerVM))
+	needActual := int(math.Ceil(actual / vCPUMinutesPerVM))
+	fmt.Printf("VMs provisioned from prediction: %d\n", needPredicted)
+	fmt.Printf("VMs a perfect oracle would use:  %d\n", needActual)
+	switch {
+	case needPredicted == needActual:
+		fmt.Println("verdict: exact-fit provisioning — no SLA risk, no waste")
+	case needPredicted > needActual:
+		fmt.Printf("verdict: %d extra VM(s) of headroom (cost, no SLA risk)\n", needPredicted-needActual)
+	default:
+		fmt.Printf("verdict: %d VM(s) short — queries risk violating their SLAs\n", needActual-needPredicted)
+	}
+
+	// Beyond uniform VMs: pick the cost-optimal mix from a tiered menu
+	// (§2.1's "just the right combination of VMs").
+	needVCPUs := cloudsim.VCPUsForDemand(predicted, 0.8)
+	alloc, err := cloudsim.Provision(needVCPUs, cloudsim.DefaultVMTypes())
+	if err != nil {
+		fmt.Println("provisioning failed:", err)
+		return
+	}
+	fmt.Printf("\ncost-optimal mix for %d vCPUs: %s\n", needVCPUs, alloc)
+}

@@ -1,0 +1,87 @@
+// Daily retraining: the paper's §3.1 argument made operational. A data
+// lake's table universe grows every day (Table 1), so a model trained once
+// degrades as prediction windows stretch (Table 5). This example measures
+// the unseen-table fraction per window and the MSE of a fixed model over
+// successive windows, then prints the retraining cadence the numbers imply.
+package main
+
+import (
+	"fmt"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+func main() {
+	// A 40-day trace over a catalog growing by 2 tables/day.
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 900
+	cfg.Days = 40
+	gen := workload.NewGrabGenerator(cfg)
+	traces := gen.Generate()
+
+	// Split by time: train on days 0-20, evaluate on later windows.
+	var trainSet []*workload.Trace
+	for _, tr := range traces {
+		if tr.Day <= 20 {
+			trainSet = append(trainSet, tr)
+		}
+	}
+	fmt.Printf("training window: days 0-20 (%d queries)\n\n", len(trainSet))
+
+	fmt.Println("Table-1 view: % of tables in the next W days the model never saw")
+	for _, w := range []int{1, 3, 5, 7, 9, 15} {
+		f := workload.UnseenTableFraction(traces, 20, w)
+		fmt.Printf("  W=%2d: %5.2f%%\n", w, f*100)
+	}
+	fmt.Println()
+
+	// Train on the time-ordered training window.
+	split := dataset.SplitRandom(trainSet, 3)
+	norm := workload.FitNormalizer(split.Train)
+	pcfg := models.DefaultPipelineConfig(16)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+	mcfg := models.DefaultPrestroidConfig(15, 9)
+	mcfg.ConvWidths = []int{32, 32, 32}
+	mcfg.DenseWidths = []int{32, 16}
+	mcfg.LR = 5e-3
+	model := models.NewPrestroid(mcfg, pipe)
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 16
+	tcfg.Patience = 4
+	res := train.Run(model, split, norm, tcfg)
+	fmt.Printf("model %s trained: in-window test MSE %.1f min²\n\n", model.Name(), res.TestMSE)
+
+	// Evaluate on successive post-training windows (Table-5 view).
+	fmt.Println("MSE drift over prediction windows after the training cutoff:")
+	windows := []struct{ lo, hi int }{{21, 25}, {26, 30}, {31, 35}, {36, 40}}
+	var worst float64
+	for _, w := range windows {
+		var sample []*workload.Trace
+		for _, tr := range traces {
+			if tr.Day >= w.lo && tr.Day <= w.hi {
+				sample = append(sample, tr)
+			}
+		}
+		if len(sample) == 0 {
+			continue
+		}
+		model.Prepare(sample)
+		mse := models.MSE(model, sample, norm)
+		if mse > worst {
+			worst = mse
+		}
+		fmt.Printf("  days %2d-%2d (%3d queries): MSE %.1f min²\n", w.lo, w.hi, len(sample), mse)
+	}
+
+	fmt.Println()
+	if worst > 1.5*res.TestMSE {
+		fmt.Printf("drift reached %.1fx the in-window error — the paper's daily\n", worst/res.TestMSE)
+		fmt.Println("retraining recommendation applies to this catalog growth rate.")
+	} else {
+		fmt.Println("drift is mild at this growth rate; weekly retraining would suffice.")
+	}
+}

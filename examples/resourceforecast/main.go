@@ -1,0 +1,56 @@
+// Resource forecast: the multi-objective extension the paper defers to
+// future work. One shared feature pipeline drives three Prestroid heads —
+// total CPU minutes, peak memory, input bytes — so a single parse yields
+// the full resource envelope the platform must reserve (App A profiles
+// exactly these three metrics).
+package main
+
+import (
+	"fmt"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/multiobj"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 500
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 4)
+
+	pcfg := models.DefaultPipelineConfig(16)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+
+	mcfg := models.DefaultPrestroidConfig(15, 9)
+	mcfg.ConvWidths = []int{32, 32, 32}
+	mcfg.DenseWidths = []int{32, 16}
+	mcfg.LR = 5e-3
+	mp := multiobj.New(mcfg, pipe)
+
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 12
+	tcfg.Patience = 4
+	fmt.Println("training three objective heads (cpu, memory, input)...")
+	res := mp.Train(split, tcfg)
+	for o := multiobj.ObjCPU; o <= multiobj.ObjInput; o++ {
+		r := res.PerObjective[o]
+		fmt.Printf("  %-12s best epoch %2d, test MSE %.3f\n", o, r.BestEpoch, r.TestMSE)
+	}
+
+	fmt.Println("\nresource envelopes for unseen queries:")
+	fmt.Printf("%-8s %-28s %-28s %-22s\n", "query", "cpu minutes (pred/actual)", "peak mem GB (pred/actual)", "input GB (pred/actual)")
+	sample := split.Test[:6]
+	forecasts := mp.Predict(sample)
+	for i, tr := range sample {
+		f := forecasts[i]
+		fmt.Printf("%-8d %10.2f / %-10.2f %12.2f / %-10.2f %9.2f / %-8.2f\n",
+			tr.ID,
+			f.CPUMinutes, tr.Profile.CPUMinutes,
+			f.PeakMemGB, tr.Profile.PeakMemGB,
+			f.InputGB, tr.Profile.InputGB)
+	}
+}

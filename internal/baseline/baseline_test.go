@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"prestroid/internal/workload"
+)
+
+func traces(t *testing.T, n int) []*workload.Trace {
+	t.Helper()
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = n
+	out := workload.NewGrabGenerator(cfg).Generate()
+	if len(out) != n {
+		t.Fatalf("got %d traces", len(out))
+	}
+	return out
+}
+
+func naiveMSE(traces []*workload.Trace) float64 {
+	mean := 0.0
+	for _, tr := range traces {
+		mean += tr.CPUMinutes()
+	}
+	mean /= float64(len(traces))
+	s := 0.0
+	for _, tr := range traces {
+		d := tr.CPUMinutes() - mean
+		s += d * d
+	}
+	return s / float64(len(traces))
+}
+
+func TestLogBinBeatsGlobalMean(t *testing.T) {
+	ts := traces(t, 600)
+	train, test := ts[:500], ts[500:]
+	lb := NewLogBin(50)
+	lb.Fit(train)
+	if got, naive := lb.MSE(test), naiveMSE(test); got >= naive {
+		t.Fatalf("log binning MSE %v not better than global mean %v", got, naive)
+	}
+}
+
+func TestLogBinSingleBinIsGlobalMean(t *testing.T) {
+	ts := traces(t, 100)
+	lb := NewLogBin(1)
+	lb.Fit(ts)
+	mean := 0.0
+	for _, tr := range ts {
+		mean += tr.CPUMinutes()
+	}
+	mean /= float64(len(ts))
+	if math.Abs(lb.Predict(ts[0])-mean) > 1e-9 {
+		t.Fatalf("1-bin prediction %v != mean %v", lb.Predict(ts[0]), mean)
+	}
+}
+
+func TestLogBinEmptyBinFallsBack(t *testing.T) {
+	ts := traces(t, 50)
+	lb := NewLogBin(1000) // far more bins than plans: most are empty
+	lb.Fit(ts)
+	for _, tr := range ts {
+		if lb.Predict(tr) <= 0 {
+			t.Fatal("empty-bin fallback must be positive global mean")
+		}
+	}
+}
+
+func TestLogBinUnfittedPredictsZero(t *testing.T) {
+	lb := NewLogBin(10)
+	ts := traces(t, 1)
+	if lb.Predict(ts[0]) != 0 {
+		t.Fatal("unfitted model must predict 0")
+	}
+}
+
+func TestSVRFeaturesShape(t *testing.T) {
+	ts := traces(t, 5)
+	f := Features(ts[0])
+	if len(f) != 13+4 {
+		t.Fatalf("feature dim = %d", len(f))
+	}
+	// Node count feature must match the plan.
+	if int(f[13]) != ts[0].Plan.NodeCount() {
+		t.Fatal("node count feature wrong")
+	}
+}
+
+func TestSVRLearnsBetterThanMean(t *testing.T) {
+	ts := traces(t, 600)
+	train, test := ts[:500], ts[500:]
+	svr := NewSVR(DefaultSVRConfig())
+	svr.Fit(train)
+	if got, naive := svr.MSE(test), naiveMSE(test); got >= naive {
+		t.Fatalf("SVR MSE %v not better than global mean %v", got, naive)
+	}
+}
+
+func TestSVRKernels(t *testing.T) {
+	ts := traces(t, 200)
+	for _, k := range []SVRKernel{KernelPoly, KernelSigmoid, KernelRBF} {
+		cfg := DefaultSVRConfig()
+		cfg.Kernel = k
+		cfg.Epochs = 50
+		svr := NewSVR(cfg)
+		svr.Fit(ts[:150])
+		for _, tr := range ts[150:] {
+			p := svr.Predict(tr)
+			if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+				t.Fatalf("kernel %d produced invalid prediction %v", k, p)
+			}
+		}
+	}
+}
+
+func TestSVRUnfittedPredictsZero(t *testing.T) {
+	svr := NewSVR(DefaultSVRConfig())
+	ts := traces(t, 1)
+	if svr.Predict(ts[0]) != 0 {
+		t.Fatal("unfitted SVR must predict 0")
+	}
+}
+
+func TestSVRDeterministic(t *testing.T) {
+	ts := traces(t, 150)
+	a := NewSVR(DefaultSVRConfig())
+	b := NewSVR(DefaultSVRConfig())
+	a.Fit(ts[:100])
+	b.Fit(ts[:100])
+	for _, tr := range ts[100:] {
+		if a.Predict(tr) != b.Predict(tr) {
+			t.Fatal("SVR training must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// VMType is one on-demand worker tier (§2.1: clouds offer tiered VMs with
+// different cores, memory and pricing; forecasting frameworks exist to pick
+// "just the right combination of VMs" for projected workload).
+type VMType struct {
+	Name      string
+	VCPUs     int
+	HourlyUSD float64
+}
+
+// DefaultVMTypes returns a realistic tiered menu with a mild bulk discount
+// on bigger machines, which makes the mix selection non-trivial.
+func DefaultVMTypes() []VMType {
+	return []VMType{
+		{Name: "D4s", VCPUs: 4, HourlyUSD: 0.20},
+		{Name: "D8s", VCPUs: 8, HourlyUSD: 0.38},
+		{Name: "D16s", VCPUs: 16, HourlyUSD: 0.73},
+		{Name: "D32s", VCPUs: 32, HourlyUSD: 1.42},
+	}
+}
+
+// Allocation is a chosen VM mix.
+type Allocation struct {
+	Counts    map[string]int
+	VCPUs     int
+	HourlyUSD float64
+}
+
+// String renders the mix compactly, types sorted by name.
+func (a Allocation) String() string {
+	names := make([]string, 0, len(a.Counts))
+	for n, c := range a.Counts {
+		if c > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%dx%s", a.Counts[n], n)
+	}
+	return fmt.Sprintf("%s (%d vCPU, $%.2f/h)", strings.Join(parts, " + "), a.VCPUs, a.HourlyUSD)
+}
+
+// Provision returns the cheapest integer VM mix whose total vCPUs meet or
+// exceed the requirement, solved exactly by dynamic programming over the
+// covering-knapsack recurrence dp[v] = min over types (dp[v - vcpus] + cost).
+func Provision(requiredVCPUs int, types []VMType) (Allocation, error) {
+	if requiredVCPUs <= 0 {
+		return Allocation{Counts: map[string]int{}}, nil
+	}
+	if len(types) == 0 {
+		return Allocation{}, fmt.Errorf("cloudsim: no VM types offered")
+	}
+	const maxVCPUs = 1 << 20
+	if requiredVCPUs > maxVCPUs {
+		return Allocation{}, fmt.Errorf("cloudsim: requirement %d vCPUs exceeds solver bound", requiredVCPUs)
+	}
+	// dp[v] = min hourly cost to cover at least v vCPUs; choice[v] = type used.
+	dp := make([]float64, requiredVCPUs+1)
+	choice := make([]int, requiredVCPUs+1)
+	for v := 1; v <= requiredVCPUs; v++ {
+		dp[v] = math.Inf(1)
+		choice[v] = -1
+		for ti, t := range types {
+			prev := v - t.VCPUs
+			if prev < 0 {
+				prev = 0
+			}
+			if c := dp[prev] + t.HourlyUSD; c < dp[v] {
+				dp[v] = c
+				choice[v] = ti
+			}
+		}
+	}
+	alloc := Allocation{Counts: map[string]int{}}
+	for v := requiredVCPUs; v > 0; {
+		t := types[choice[v]]
+		alloc.Counts[t.Name]++
+		alloc.VCPUs += t.VCPUs
+		alloc.HourlyUSD += t.HourlyUSD
+		v -= t.VCPUs
+		if v < 0 {
+			v = 0
+		}
+	}
+	return alloc, nil
+}
+
+// VCPUsForDemand converts a predicted CPU-minutes-per-hour demand into a
+// vCPU requirement at the given utilisation derating (e.g. 0.8 keeps 20%
+// headroom for skew and SLA safety).
+func VCPUsForDemand(cpuMinutesPerHour, utilisation float64) int {
+	if utilisation <= 0 || utilisation > 1 {
+		utilisation = 0.8
+	}
+	return int(math.Ceil(cpuMinutesPerHour / 60 / utilisation))
+}

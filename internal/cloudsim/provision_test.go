@@ -1,0 +1,116 @@
+package cloudsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProvisionExactFit(t *testing.T) {
+	alloc, err := Provision(32, DefaultVMTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One D32s ($1.42) beats 2xD16s ($1.46), 4xD8s ($1.52), 8xD4s ($1.60).
+	if alloc.Counts["D32s"] != 1 || alloc.VCPUs != 32 {
+		t.Fatalf("alloc = %s", alloc)
+	}
+}
+
+func TestProvisionMixedSizes(t *testing.T) {
+	alloc, err := Provision(36, DefaultVMTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.VCPUs < 36 {
+		t.Fatalf("under-provisioned: %s", alloc)
+	}
+	// D32s + D4s = $1.62 must beat 2xD32s ($2.84) and D32s+D8s ($1.80).
+	if alloc.Counts["D32s"] != 1 || alloc.Counts["D4s"] != 1 {
+		t.Fatalf("suboptimal mix: %s", alloc)
+	}
+}
+
+func TestProvisionZeroDemand(t *testing.T) {
+	alloc, err := Provision(0, DefaultVMTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.VCPUs != 0 || alloc.HourlyUSD != 0 {
+		t.Fatalf("zero demand allocated %s", alloc)
+	}
+}
+
+func TestProvisionNoTypes(t *testing.T) {
+	if _, err := Provision(8, nil); err == nil {
+		t.Fatal("expected error with no VM types")
+	}
+}
+
+func TestProvisionCoversAndIsLocallyMinimal(t *testing.T) {
+	f := func(seed uint16) bool {
+		need := 1 + int(seed)%500
+		alloc, err := Provision(need, DefaultVMTypes())
+		if err != nil {
+			return false
+		}
+		if alloc.VCPUs < need {
+			return false
+		}
+		// Removing any single VM must break coverage (no padding waste).
+		for name, count := range alloc.Counts {
+			if count == 0 {
+				continue
+			}
+			var vcpus int
+			for _, t := range DefaultVMTypes() {
+				if t.Name == name {
+					vcpus = t.VCPUs
+				}
+			}
+			if alloc.VCPUs-vcpus >= need {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionBeatsSingleTypeBaselines(t *testing.T) {
+	types := DefaultVMTypes()
+	for _, need := range []int{7, 19, 45, 100, 333} {
+		alloc, err := Provision(need, types)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vt := range types {
+			n := (need + vt.VCPUs - 1) / vt.VCPUs
+			cost := float64(n) * vt.HourlyUSD
+			if alloc.HourlyUSD > cost+1e-9 {
+				t.Fatalf("need %d: DP $%.2f worse than all-%s $%.2f", need, alloc.HourlyUSD, vt.Name, cost)
+			}
+		}
+	}
+}
+
+func TestVCPUsForDemand(t *testing.T) {
+	// 960 CPU-minutes per hour at 80% utilisation needs 20 vCPUs.
+	if got := VCPUsForDemand(960, 0.8); got != 20 {
+		t.Fatalf("VCPUs = %d, want 20", got)
+	}
+	// Bad utilisation falls back to 0.8.
+	if got := VCPUsForDemand(960, 0); got != 20 {
+		t.Fatalf("fallback VCPUs = %d", got)
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	alloc, _ := Provision(36, DefaultVMTypes())
+	s := alloc.String()
+	if !strings.Contains(s, "vCPU") || !strings.Contains(s, "$") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,172 @@
+package costsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/sqlparse"
+)
+
+func plan(t *testing.T, src string) *logicalplan.Node {
+	t.Helper()
+	p, err := logicalplan.PlanSQL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTableRowsDeterministicAndBounded(t *testing.T) {
+	a := TableRows("orders")
+	b := TableRows("orders")
+	if a != b {
+		t.Fatal("TableRows must be deterministic")
+	}
+	for _, name := range []string{"a", "b", "trips", "datamart_users", "x9"} {
+		rows := TableRows(name)
+		if rows < 1e4 || rows > 1e9 {
+			t.Fatalf("rows(%s) = %v out of [1e4, 1e9]", name, rows)
+		}
+	}
+}
+
+func TestColumnSelectivityRegimes(t *testing.T) {
+	if s := ColumnSelectivity("id", "="); s < 0.02 || s > 0.30 {
+		t.Fatalf("equality selectivity %v out of range", s)
+	}
+	if s := ColumnSelectivity("amount", ">"); s < 0.10 || s > 0.92 {
+		t.Fatalf("range selectivity %v out of range", s)
+	}
+	if ColumnSelectivity("x", "=") != ColumnSelectivity("x", "=") {
+		t.Fatal("selectivity not deterministic")
+	}
+	// Case-insensitive on column names.
+	if ColumnSelectivity("Amount", ">") != ColumnSelectivity("amount", ">") {
+		t.Fatal("selectivity must be case-insensitive")
+	}
+}
+
+func TestPredicateSelectivityComposition(t *testing.T) {
+	parse := func(src string) sqlparse.Expr {
+		stmt, err := sqlparse.Parse("SELECT * FROM t WHERE " + src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.Where
+	}
+	a := PredicateSelectivity(parse("col_a > 5"))
+	b := PredicateSelectivity(parse("col_b = 7"))
+	and := PredicateSelectivity(parse("col_a > 5 AND col_b = 7"))
+	or := PredicateSelectivity(parse("col_a > 5 OR col_b = 7"))
+	if math.Abs(and-a*b) > 1e-9 {
+		t.Fatalf("AND selectivity %v != %v * %v", and, a, b)
+	}
+	if math.Abs(or-(a+b-a*b)) > 1e-9 {
+		t.Fatalf("OR selectivity %v != inclusion-exclusion", or)
+	}
+	if and > or {
+		t.Fatal("AND must be at most OR")
+	}
+	not := PredicateSelectivity(parse("NOT col_a > 5"))
+	if math.Abs(not-(1-a)) > 1e-9 {
+		t.Fatalf("NOT selectivity %v != 1-%v", not, a)
+	}
+}
+
+func TestSelectivityAlwaysInUnitRange(t *testing.T) {
+	f := func(col string, pick uint8) bool {
+		ops := []string{"=", "<", ">", "<=", ">=", "in", "like", "isnull", "between"}
+		s := ColumnSelectivity(col, ops[int(pick)%len(ops)])
+		return s > 0 && s < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileScalesWithPlanComplexity(t *testing.T) {
+	est := NewEstimator(1)
+	small := est.NoiselessCPUMinutes(plan(t, "SELECT a FROM small_t WHERE a = 1"))
+	big := est.NoiselessCPUMinutes(plan(t,
+		`SELECT * FROM small_t JOIN big_t ON small_t.a = big_t.a
+		 JOIN third_t ON big_t.b = third_t.b ORDER BY a`))
+	if big <= small {
+		t.Fatalf("3-way join (%v) must cost more than point lookup (%v)", big, small)
+	}
+}
+
+func TestSelectiveFilterReducesDownstreamCost(t *testing.T) {
+	est := NewEstimator(1)
+	// Same join, one side filtered first: aggregate over filtered input must
+	// be cheaper than over the raw table.
+	filtered := est.NoiselessCPUMinutes(plan(t,
+		"SELECT region, COUNT(*) FROM events WHERE event_id = 7 GROUP BY region"))
+	raw := est.NoiselessCPUMinutes(plan(t,
+		"SELECT region, COUNT(*) FROM events GROUP BY region"))
+	if filtered >= raw {
+		t.Fatalf("filtered %v >= raw %v", filtered, raw)
+	}
+}
+
+func TestProfileNoiseIsMultiplicativeAndBounded(t *testing.T) {
+	est := NewEstimator(42)
+	p := plan(t, "SELECT a FROM t WHERE a > 1")
+	base := est.NoiselessCPUMinutes(p)
+	ratioSum := 0.0
+	n := 200
+	for i := 0; i < n; i++ {
+		prof := est.Profile(p)
+		ratio := prof.CPUMinutes / base
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("noise ratio %v outside plausible band", ratio)
+		}
+		ratioSum += ratio
+	}
+	mean := ratioSum / float64(n)
+	if mean < 0.9 || mean < 0 || mean > 1.15 {
+		t.Fatalf("mean noise ratio %v, want ~1", mean)
+	}
+}
+
+func TestProfileDeterministicForSeed(t *testing.T) {
+	p := plan(t, "SELECT a FROM t WHERE a > 1")
+	a := NewEstimator(7).Profile(p)
+	b := NewEstimator(7).Profile(p)
+	if a != b {
+		t.Fatal("same seed must reproduce profiles")
+	}
+}
+
+func TestResourceProfileFieldsPositive(t *testing.T) {
+	est := NewEstimator(3)
+	prof := est.Profile(plan(t, "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 1"))
+	if prof.CPUMinutes <= 0 || prof.PeakMemGB <= 0 || prof.InputGB <= 0 {
+		t.Fatalf("profile has non-positive fields: %+v", prof)
+	}
+}
+
+func TestProfileOTPTopPercentShares(t *testing.T) {
+	est := NewEstimator(5)
+	// 99 tiny plans + 1 giant union plan: the giant should dominate shares.
+	var plans []*logicalplan.Node
+	for i := 0; i < 99; i++ {
+		plans = append(plans, plan(t, "SELECT a FROM tiny_table LIMIT 1"))
+	}
+	big := "SELECT a FROM big_table_one WHERE a > 1"
+	for i := 0; i < 30; i++ {
+		big += " UNION ALL SELECT a FROM big_table_two WHERE a < 5"
+	}
+	plans = append(plans, plan(t, big))
+	mem, cpu, input := ProfileOTP(est, plans)
+	if cpu < 0.5 {
+		t.Fatalf("top-1%% CPU share %v, want dominant", cpu)
+	}
+	if mem <= 0 || input <= 0 {
+		t.Fatalf("shares must be positive: %v %v %v", mem, cpu, input)
+	}
+	if mem > 1 || cpu > 1 || input > 1 {
+		t.Fatalf("shares cannot exceed 1: %v %v %v", mem, cpu, input)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"prestroid/internal/models"
+	"prestroid/internal/otp"
+	"prestroid/internal/train"
+)
+
+// Ablation trains Prestroid(15-9-Pf) variants that each remove one design
+// choice DESIGN.md calls out, reporting the test MSE impact:
+//
+//   - Algorithm 1 → naive BFS / DFS chunking (no receptive-field guarantee)
+//   - vote masking → all nodes vote (boundary leakage into pooling)
+//   - MIN/MAX conjunction pooling → mean pooling
+//   - Word2Vec predicate embedding → hashed 1-hot over Pf buckets
+func Ablation(s *Suite) *Table {
+	t := &Table{
+		Title:  "Ablation: Prestroid(15-9) design choices on Grab-Traces",
+		Header: []string{"Variant", "Epoch", "MSE"},
+	}
+	cfg := s.trainCfg()
+
+	// Baseline: the full design (reuses the suite's trained model).
+	base, baseRes := s.TrainedGrab("sub-15")
+	t.AddRow(base.Name()+" [full design]", F(float64(baseRes.BestEpoch)), F(baseRes.TestMSE))
+
+	runVariant := func(label string, build func() models.Model) {
+		m := build()
+		res := train.Run(m, s.GrabSplit, s.GrabNorm, cfg)
+		t.AddRow(label, F(float64(res.BestEpoch)), F(res.TestMSE))
+	}
+
+	runVariant("naive BFS chunking", func() models.Model {
+		c := s.PrestroidCfg(15, 9, 1)
+		c.Sampling = models.SamplingNaiveBFS
+		return models.NewPrestroid(c, s.GrabPipe)
+	})
+	runVariant("naive DFS chunking", func() models.Model {
+		c := s.PrestroidCfg(15, 9, 1)
+		c.Sampling = models.SamplingNaiveDFS
+		return models.NewPrestroid(c, s.GrabPipe)
+	})
+	runVariant("votes disabled", func() models.Model {
+		c := s.PrestroidCfg(15, 9, 1)
+		c.DisableVotes = true
+		return models.NewPrestroid(c, s.GrabPipe)
+	})
+	runVariant("mean conjunction pooling", func() models.Model {
+		c := s.PrestroidCfg(15, 9, 1)
+		return models.NewPrestroid(c, s.pipeVariant(func(e *otp.Encoder) { e.MeanPooling = true }))
+	})
+	runVariant("hashed 1-hot predicates", func() models.Model {
+		c := s.PrestroidCfg(15, 9, 1)
+		return models.NewPrestroid(c, s.pipeVariant(func(e *otp.Encoder) { e.HashedPredicates = true }))
+	})
+	return t
+}
+
+// pipeVariant clones the Grab pipeline with a modified encoder; the
+// Word2Vec model is shared (it is immutable after training).
+func (s *Suite) pipeVariant(mutate func(*otp.Encoder)) *models.Pipeline {
+	enc := *s.GrabPipe.Enc
+	mutate(&enc)
+	return &models.Pipeline{W2V: s.GrabPipe.W2V, Enc: &enc}
+}

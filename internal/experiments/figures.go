@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"prestroid/internal/cloudsim"
+	"prestroid/internal/costsim"
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/workload"
+)
+
+// Fig2 reproduces the plan-diversity scatter: node count versus maximum
+// depth for a large plan sample, bracketed by the theoretical skewed-tree
+// (count = depth+1 per level chain) and balanced-binary-tree
+// (count = 2^(depth+1)-1) envelopes. The summary reports, per depth bucket,
+// the observed count range and the share of plans strictly between the two
+// envelopes — the paper's "straddling" observation.
+func Fig2(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 2: plan diversity (node count vs max depth)",
+		Header: []string{"Depth bucket", "Plans", "Min nodes", "Max nodes", "% between envelopes"},
+	}
+	cfg := workload.DefaultPlanSampleConfig()
+	cfg.Count = s.Scale.PlanSample
+	plans := workload.GeneratePlanSample(cfg)
+	stats := workload.CollectPlanStats(plans)
+
+	buckets := []struct{ lo, hi int }{{0, 10}, {10, 25}, {25, 50}, {50, 100}, {100, 1 << 30}}
+	for _, b := range buckets {
+		minN, maxN := math.MaxInt32, 0
+		count, between := 0, 0
+		for i := range plans {
+			d := stats.MaxDepths[i]
+			if d < b.lo || d >= b.hi {
+				continue
+			}
+			n := stats.NodeCounts[i]
+			count++
+			if n < minN {
+				minN = n
+			}
+			if n > maxN {
+				maxN = n
+			}
+			skewed := d + 1 // a chain of depth d has d+1 nodes
+			balanced := (1 << uint(minInt(d+1, 30))) - 1
+			if n > skewed && n < balanced {
+				between++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		label := fmt.Sprintf("[%d,%d)", b.lo, b.hi)
+		t.AddRow(label, fmt.Sprint(count), fmt.Sprint(minN), fmt.Sprint(maxN),
+			F(100*float64(between)/float64(count)))
+	}
+	// Max plan footprint, comparable to the paper's (4969, 321) for Grab,
+	// (883, 73) for TPC-DS and (477, 38) for TPC-H.
+	maxFootprint := func(counts, depths []int) string {
+		maxN, maxD := 0, 0
+		for i := range counts {
+			if counts[i] > maxN {
+				maxN = counts[i]
+			}
+			if depths[i] > maxD {
+				maxD = depths[i]
+			}
+		}
+		return fmt.Sprintf("(%d, %d)", maxN, maxD)
+	}
+	t.AddRow("Grab max(size,depth)", maxFootprint(stats.NodeCounts, stats.MaxDepths), "", "", "")
+
+	// Reference series: the public benchmarks cover a much smaller range.
+	for _, ref := range []struct {
+		name   string
+		traces []*workload.Trace
+	}{
+		{"TPC-DS", s.TPCDS},
+		{"TPC-H", workload.NewTPCHGenerator(workload.DefaultTPCHConfig()).Generate()},
+	} {
+		var counts, depths []int
+		for _, tr := range ref.traces {
+			counts = append(counts, tr.Plan.NodeCount())
+			depths = append(depths, tr.Plan.MaxDepth())
+		}
+		t.AddRow(ref.name+" max(size,depth)", maxFootprint(counts, depths), "", "", "")
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ProvisionRow is one bar group of Fig 5.
+type ProvisionRow struct {
+	Model    string
+	OverPct  float64 // resources over-allocated, % of actual usage
+	UnderPct float64 // resources under-allocated (negative), % of actual
+	NetPct   float64 // overall provisioning error
+}
+
+// Fig5 reproduces the resource-allocation accuracy study: per model, the
+// percentage of cluster CPU-time resources over- and under-allocated across
+// the test workload (paper: all models slightly under-provision; sub-trees
+// are the most accurate).
+func Fig5(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 5: over/under provisioning on Grab test traces (%)",
+		Header: []string{"Model", "Over", "Under", "Overall"},
+	}
+	for _, key := range []string{"sub-15", "sub-32", "full"} {
+		m, _ := s.TrainedGrab(key)
+		pred := m.Predict(s.GrabSplit.Test)
+		var over, under, actual float64
+		for i, tr := range s.GrabSplit.Test {
+			p := s.GrabNorm.Denormalize(pred.Data[i])
+			a := tr.CPUMinutes()
+			actual += a
+			if p > a {
+				over += p - a
+			} else {
+				under += a - p
+			}
+		}
+		row := ProvisionRow{
+			Model:    m.Name(),
+			OverPct:  100 * over / actual,
+			UnderPct: -100 * under / actual,
+			NetPct:   100 * (over - under) / actual,
+		}
+		t.AddRow(row.Model, F(row.OverPct), F(row.UnderPct), F(row.NetPct))
+	}
+	return t
+}
+
+// paddedEpochTime estimates the epoch wall time of the paper's padded,
+// batched TensorFlow-style pipeline: compute scales with the padded bytes
+// an epoch ships. The estimate is anchored on the measured epoch time of
+// the sub-tree model, whose padding overhead is negligible (its K x N slots
+// are mostly occupied), then scaled by each model's padded-bytes ratio.
+// Our Go implementation convolves plans at their true size, so its measured
+// full-tree times do NOT pay the padding tax the paper measures — this
+// helper restores it.
+func (s *Suite) paddedEpochTime(m models.Model, batch int) time.Duration {
+	anchor, anchorRes := s.TrainedGrab("sub-15")
+	ref := float64(anchor.BatchBytes(s.Scale.BatchSize)) / float64(s.Scale.BatchSize)
+	cur := float64(m.BatchBytes(batch)) / float64(batch)
+	return time.Duration(float64(anchorRes.MeanEpochTime) * cur / ref)
+}
+
+// Fig6 reproduces the per-batch memory footprint and epoch-runtime
+// comparison at batch size 32 (paper: sub-trees cut footprint 13.5x and
+// epoch time 3.45x versus Full-300; M-MSCN has the largest footprint from
+// its sparse predicate sets; WCNN is the most compact). Two epoch columns
+// are reported: the wall time measured by this (unpadded) Go implementation
+// and the padded-equivalent time a batched GPU pipeline pays.
+func Fig6(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 6: per-batch footprint (MB) and epoch time at batch 32",
+		Header: []string{"Model", "Batch MB", "Epoch measured", "Epoch padded-equiv"},
+	}
+	for _, key := range GrabModelKeys() {
+		m, res := s.TrainedGrab(key)
+		mb := float64(m.BatchBytes(32)) / 1e6
+		t.AddRow(m.Name(), F(mb),
+			res.MeanEpochTime.Round(time.Millisecond).String(),
+			s.paddedEpochTime(m, 32).Round(time.Millisecond).String())
+	}
+	return t
+}
+
+// Paper-dimension job model for Exp 3. Shapes come from §5.1/§5.2 — node
+// features are [13 ops | Pf=300 | ~500-table 1-hot], full trees pad to the
+// largest filtered plan (1,945 nodes) — and the GPU epoch-time model
+// t(batch) = batches x (fixed + bytes/throughput) is anchored on the two
+// points the paper publishes: Prestroid(15-9-300) ≈ 120 s/epoch at batch 32
+// (Fig 9) and Full-300 ≈ 3.45x that (Fig 6). Everything downstream (memory
+// gate, cluster choice, dollars) is computed by cloudsim.
+const (
+	paperFeatDim      = 13 + 300 + 500
+	paperFullNodes    = 1945
+	paperTrainQueries = 15900 // 80% of 19,876
+	paperFixedBatchS  = 0.1975
+	paperBytesPerSec  = 637e6
+	paperParams       = 600_000 // order of the 512-kernel sub-tree models
+)
+
+// paperModelSpec describes one Exp-3 model at paper dimensions.
+type paperModelSpec struct {
+	name   string
+	epochs int // convergence epochs from Table 2a
+	bytes  func(batch int) int
+}
+
+func paperModels() []paperModelSpec {
+	return []paperModelSpec{
+		{
+			name:   "Prestroid (15-9-300)",
+			epochs: 49,
+			bytes: func(b int) int {
+				return dataset.PaddedSubTreeBatchBytes(b, 9, 15, paperFeatDim)
+			},
+		},
+		{
+			name:   "Prestroid (32-11-200)",
+			epochs: 41,
+			bytes: func(b int) int {
+				return dataset.PaddedSubTreeBatchBytes(b, 11, 32, 13+200+500)
+			},
+		},
+		{
+			name:   "Prestroid (Full-300)",
+			epochs: 51,
+			bytes: func(b int) int {
+				return dataset.PaddedTreeBatchBytes(b, paperFullNodes, paperFeatDim)
+			},
+		},
+	}
+}
+
+// paperEpochTime evaluates the anchored GPU epoch-time model.
+func paperEpochTime(bytesPerBatch, batch int) time.Duration {
+	batches := (paperTrainQueries + batch - 1) / batch
+	sec := float64(batches) * (paperFixedBatchS + float64(bytesPerBatch)/paperBytesPerSec)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Fig7 reproduces the training-cost curves over batch sizes on Azure NC_V3:
+// for each model, the cheapest feasible cluster and its dollar cost
+// (paper: $76.25 → $5.79 at batch 256 switching Full-300 → Prestroid
+// 15-9-300).
+func Fig7(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 7: training cost (USD) on Azure NC_V3 by batch size",
+		Header: []string{"Model", "Batch", "Cluster", "USD"},
+	}
+	for _, spec := range paperModels() {
+		for _, b := range []int{32, 64, 128, 256} {
+			job := cloudsim.TrainingJob{
+				ModelName:     spec.name,
+				Params:        paperParams,
+				BatchBytes:    spec.bytes(b),
+				EpochTime1GPU: paperEpochTime(spec.bytes(b), b),
+				Epochs:        spec.epochs,
+			}
+			cl, cost, err := cloudsim.CheapestFeasible(cloudsim.NCv3Clusters(), job)
+			if err != nil {
+				t.AddRow(spec.name, fmt.Sprint(b), "OOM", "-")
+				continue
+			}
+			t.AddRow(spec.name, fmt.Sprint(b), cl.Name, fmt.Sprintf("$%.2f", cost))
+		}
+	}
+	return t
+}
+
+// Fig8 reproduces the long-tail study of App A: the node-count CDF knee and
+// the share of cluster resources consumed by the top 1% of plans by size
+// (paper: 23.7% of peak memory, 33.1% of CPU, 40.2% of input bytes).
+func Fig8(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 8: long-tail plan distribution and top-1% resource share",
+		Header: []string{"Metric", "Value"},
+	}
+	cfg := workload.DefaultPlanSampleConfig()
+	cfg.Count = s.Scale.PlanSample
+	plans := workload.GeneratePlanSample(cfg)
+	stats := workload.CollectPlanStats(plans)
+	qs := stats.CDF([]float64{0.50, 0.90, 0.99, 1.0})
+	t.AddRow("node count p50", fmt.Sprint(qs[0]))
+	t.AddRow("node count p90", fmt.Sprint(qs[1]))
+	t.AddRow("node count p99", fmt.Sprint(qs[2]))
+	t.AddRow("node count max", fmt.Sprint(qs[3]))
+
+	est := costsim.NewEstimator(21)
+	mem, cpu, input := costsim.ProfileOTP(est, plans)
+	t.AddRow("top-1% peak-memory share %", F(mem*100))
+	t.AddRow("top-1% CPU share %", F(cpu*100))
+	t.AddRow("top-1% input share %", F(input*100))
+	return t
+}
+
+// Fig9 reproduces the scale-out profiling: epoch runtime for Prestroid
+// (15-9-Pf) across batch sizes on 1/2/4-GPU clusters, showing diminishing
+// returns (paper: 1.62x / 2.85x at batch 128).
+func Fig9(s *Suite) *Table {
+	t := &Table{
+		Title:  "Fig 9: epoch runtime (s) by batch size and cluster",
+		Header: []string{"Batch", "NC6s_V3", "NC12s_V3", "NC24s_V3"},
+	}
+	spec := paperModels()[0] // Prestroid (15-9-300), as in App B.1
+	clusters := cloudsim.NCv3Clusters()
+	for _, b := range []int{32, 64, 128, 256} {
+		j := cloudsim.TrainingJob{
+			ModelName:     spec.name,
+			Params:        paperParams,
+			BatchBytes:    spec.bytes(b),
+			EpochTime1GPU: paperEpochTime(spec.bytes(b), b),
+			Epochs:        1,
+		}
+		row := []string{fmt.Sprint(b)}
+		for _, c := range clusters {
+			row = append(row, F(c.EpochTime(j).Seconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

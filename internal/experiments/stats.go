@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prestroid/internal/models"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+// DatasetStats reproduces the §3.3 scale comparison: the Grab workload has
+// vastly more distinct predicates per query than the template benchmarks
+// (paper: 30,707 distinct predicates over 19,876 Grab queries vs 1,450 over
+// 5,153 TPC-DS queries), and a wider plan-size range than TPC-DS or TPC-H.
+func DatasetStats(s *Suite) *Table {
+	t := &Table{
+		Title:  "Dataset statistics (§3.3): predicate and plan-size scale",
+		Header: []string{"Dataset", "Queries", "Distinct preds", "Preds/query", "Max nodes", "Max depth"},
+	}
+	add := func(name string, traces []*workload.Trace) {
+		distinct := workload.DistinctPredicates(traces)
+		maxN, maxD := 0, 0
+		for _, tr := range traces {
+			if n := tr.Plan.NodeCount(); n > maxN {
+				maxN = n
+			}
+			if d := tr.Plan.MaxDepth(); d > maxD {
+				maxD = d
+			}
+		}
+		t.AddRow(name, fmt.Sprint(len(traces)), fmt.Sprint(distinct),
+			F(float64(distinct)/float64(len(traces))), fmt.Sprint(maxN), fmt.Sprint(maxD))
+	}
+	add("Grab-like", s.Grab)
+	add("TPC-DS-like", s.TPCDS)
+	tpch := workload.NewTPCHGenerator(workload.DefaultTPCHConfig()).Generate()
+	add("TPC-H-like", tpch)
+	return t
+}
+
+// Sweep reproduces the §5.2 hyper-parameter exploration over Prestroid's
+// three levers — N (sub-tree node limit), K (sub-trees per query) and Pf
+// (predicate feature size) — on the Grab workload. The grid is scaled down
+// from the paper's {15,32} x {5..21} x {100..300}.
+func Sweep(s *Suite) *Table {
+	t := &Table{
+		Title:  "Hyper-parameter sweep (§5.2): Prestroid (N-K-Pf) on Grab-Traces",
+		Header: []string{"N", "K", "Epoch", "MSE", "Batch-32 MB"},
+	}
+	cfgTrain := s.trainCfg()
+	grid := []struct{ n, k int }{
+		{15, 5}, {15, 9}, {15, 21},
+		{32, 5}, {32, 11}, {32, 20},
+	}
+	for _, g := range grid {
+		m := models.NewPrestroid(s.PrestroidCfg(g.n, g.k, 1), s.GrabPipe)
+		res := train.Run(m, s.GrabSplit, s.GrabNorm, cfgTrain)
+		t.AddRow(fmt.Sprint(g.n), fmt.Sprint(g.k),
+			fmt.Sprint(res.BestEpoch), F(res.TestMSE),
+			F(float64(m.BatchBytes(32))/1e6))
+	}
+	return t
+}

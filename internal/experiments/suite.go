@@ -1,0 +1,255 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner regenerates the corresponding rows or
+// series over the synthetic workloads; EXPERIMENTS.md records the paper's
+// values next to ours. Runners share a Suite so datasets, pipelines and
+// trained models are built once.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+// Scale sizes an experiment run. TestScale keeps CI fast; PaperScale matches
+// the paper's dataset sizes (hours of CPU time).
+type Scale struct {
+	Name         string
+	GrabQueries  int
+	TPCDSQueries int
+	PlanSample   int // plans for Fig 2 / Fig 8
+	MaxEpochs    int
+	Patience     int
+	BatchSize    int
+	ConvWidth    int // conv kernels per layer (paper: 512)
+	DenseWidths  []int
+	Pf           int     // Word2Vec feature size for the default models
+	LR           float64 // ADAM learning rate (small nets want larger steps)
+	Rounds       int     // training repetitions (paper: 3)
+}
+
+// TestScale is small enough for unit tests and benchmarks.
+func TestScale() Scale {
+	return Scale{
+		Name:         "test",
+		GrabQueries:  360,
+		TPCDSQueries: 240,
+		PlanSample:   4000,
+		MaxEpochs:    40,
+		Patience:     8,
+		BatchSize:    32,
+		ConvWidth:    16,
+		DenseWidths:  []int{16, 8},
+		Pf:           8,
+		LR:           1e-2,
+		Rounds:       2,
+	}
+}
+
+// SmallScale is a fuller CLI run that still completes in minutes.
+func SmallScale() Scale {
+	return Scale{
+		Name:         "small",
+		GrabQueries:  2000,
+		TPCDSQueries: 800,
+		PlanSample:   50000,
+		MaxEpochs:    25,
+		Patience:     5,
+		BatchSize:    64,
+		ConvWidth:    64,
+		DenseWidths:  []int{64, 32},
+		Pf:           32,
+		LR:           3e-3,
+		Rounds:       3,
+	}
+}
+
+// PaperScale mirrors the paper's dataset sizes. CPU training at this scale
+// takes many hours; use for full reproductions only.
+func PaperScale() Scale {
+	return Scale{
+		Name:         "paper",
+		GrabQueries:  19876,
+		TPCDSQueries: 5153,
+		PlanSample:   245849,
+		MaxEpochs:    100,
+		Patience:     8,
+		BatchSize:    64,
+		ConvWidth:    512,
+		DenseWidths:  []int{128, 64},
+		Pf:           300,
+		LR:           1e-4, // the paper's setting
+		Rounds:       3,
+	}
+}
+
+// Suite caches datasets, pipelines and trained models across experiments.
+type Suite struct {
+	Scale Scale
+
+	Grab      []*workload.Trace
+	GrabSplit dataset.Split
+	GrabNorm  workload.Normalizer
+	GrabPipe  *models.Pipeline
+	GrabGen   *workload.GrabGenerator
+
+	TPCDS      []*workload.Trace
+	TPCDSSplit dataset.Split
+	TPCDSNorm  workload.Normalizer
+	TPCDSPipe  *models.Pipeline
+
+	trained map[string]*trainedModel
+}
+
+type trainedModel struct {
+	model  models.Model
+	result train.Result
+}
+
+// NewSuite generates both workloads and fits the shared pipelines.
+func NewSuite(scale Scale) *Suite {
+	gcfg := workload.DefaultGrabConfig()
+	gcfg.Queries = scale.GrabQueries
+	ggen := workload.NewGrabGenerator(gcfg)
+	grab := ggen.Generate()
+	gsplit := dataset.SplitRandom(grab, 11)
+
+	dcfg := workload.DefaultTPCDSConfig()
+	dcfg.Queries = scale.TPCDSQueries
+	tpcds := workload.NewTPCDSGenerator(dcfg).Generate()
+	dsplit := dataset.SplitByTemplate(tpcds, 11)
+
+	pcfg := models.DefaultPipelineConfig(scale.Pf)
+	pcfg.MinCount = 2
+	if scale.GrabQueries >= 5000 {
+		pcfg.MinCount = 10 // the paper's cutoff needs paper-scale corpora
+	}
+
+	return &Suite{
+		Scale:      scale,
+		Grab:       grab,
+		GrabSplit:  gsplit,
+		GrabNorm:   workload.FitNormalizer(gsplit.Train),
+		GrabPipe:   models.BuildPipeline(gsplit.Train, pcfg),
+		GrabGen:    ggen,
+		TPCDS:      tpcds,
+		TPCDSSplit: dsplit,
+		TPCDSNorm:  workload.FitNormalizer(dsplit.Train),
+		TPCDSPipe:  models.BuildPipeline(dsplit.Train, pcfg),
+		trained:    map[string]*trainedModel{},
+	}
+}
+
+// PrestroidCfg builds a Prestroid config at the suite's scale.
+func (s *Suite) PrestroidCfg(n, k int, seed uint64) models.PrestroidConfig {
+	cfg := models.DefaultPrestroidConfig(n, k)
+	cfg.ConvWidths = []int{s.Scale.ConvWidth, s.Scale.ConvWidth, s.Scale.ConvWidth}
+	cfg.DenseWidths = s.Scale.DenseWidths
+	cfg.Seed = seed
+	if s.Scale.LR > 0 {
+		cfg.LR = s.Scale.LR
+	}
+	return cfg
+}
+
+// trainCfg builds the shared training configuration.
+func (s *Suite) trainCfg() train.Config {
+	return train.Config{
+		BatchSize: s.Scale.BatchSize,
+		MaxEpochs: s.Scale.MaxEpochs,
+		Patience:  s.Scale.Patience,
+		Seed:      7,
+	}
+}
+
+// TrainedGrab returns the named model trained on Grab-Traces, training it on
+// first use. Keys: "sub-15", "sub-32", "full", "mscn", "wcnn".
+func (s *Suite) TrainedGrab(key string) (models.Model, train.Result) {
+	if tm, ok := s.trained["grab/"+key]; ok {
+		return tm.model, tm.result
+	}
+	m := s.buildGrabModel(key, 1)
+	res := train.Run(m, s.GrabSplit, s.GrabNorm, s.trainCfg())
+	s.trained["grab/"+key] = &trainedModel{model: m, result: res}
+	return m, res
+}
+
+func (s *Suite) buildGrabModel(key string, seed uint64) models.Model {
+	switch key {
+	case "sub-15":
+		return models.NewPrestroid(s.PrestroidCfg(15, 9, seed), s.GrabPipe)
+	case "sub-32":
+		return models.NewPrestroid(s.PrestroidCfg(32, 11, seed), s.GrabPipe)
+	case "full":
+		return models.NewPrestroid(s.PrestroidCfg(15, 0, seed), s.GrabPipe)
+	case "mscn":
+		cfg := models.DefaultMSCNConfig()
+		cfg.Units = s.Scale.ConvWidth
+		cfg.Seed = seed
+		if s.Scale.LR > 0 {
+			cfg.LR = s.Scale.LR
+		}
+		return models.NewMSCN(cfg, s.GrabPipe)
+	case "wcnn":
+		cfg := models.DefaultWCNNConfig()
+		cfg.EmbedDim = s.Scale.Pf
+		cfg.Kernels = s.Scale.ConvWidth
+		cfg.Seed = seed
+		if s.Scale.LR > 0 {
+			cfg.LR = s.Scale.LR
+		}
+		return models.NewWCNN(cfg)
+	default:
+		panic("experiments: unknown grab model " + key)
+	}
+}
+
+// GrabModelKeys lists the deep models compared on Grab-Traces.
+func GrabModelKeys() []string { return []string{"mscn", "wcnn", "full", "sub-15", "sub-32"} }
+
+// Table is a generic experiment result: a header and aligned rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// F formats a float at 2 decimals.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,25 @@
+package logicalplan_test
+
+import (
+	"fmt"
+
+	"prestroid/internal/logicalplan"
+)
+
+// ExamplePlanSQL shows the EXPLAIN-style plan a query lowers to.
+func ExamplePlanSQL() {
+	plan, err := logicalplan.PlanSQL("SELECT a FROM t WHERE a > 5 LIMIT 10")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan.Explain())
+	fmt.Printf("nodes=%d depth=%d\n", plan.NodeCount(), plan.MaxDepth())
+	// Output:
+	// - Output
+	//   - Project[a]
+	//     - Limit[10]
+	//       - Filter[a > 5]
+	//         - Exchange[source]
+	//           - TableScan[t]
+	// nodes=6 depth=5
+}

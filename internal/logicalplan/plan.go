@@ -1,0 +1,203 @@
+// Package logicalplan defines the logical query plan DAG produced from
+// parsed SQL, mirroring the structure Presto exposes through
+// "EXPLAIN <text>". Plans are the raw material for the paper's O-T-P
+// recasting, the plan-diversity study (Fig 2), and the long-tail analysis
+// (Fig 8).
+package logicalplan
+
+import (
+	"fmt"
+	"strings"
+
+	"prestroid/internal/sqlparse"
+)
+
+// Op enumerates logical plan operators.
+type Op int
+
+// Logical operators. The set follows Presto's text plans: scans and filters
+// at the leaves, exchanges introduced between distributed stages.
+const (
+	OpOutput Op = iota
+	OpTableScan
+	OpFilter
+	OpProject
+	OpJoin
+	OpAggregate
+	OpSort
+	OpTopN
+	OpLimit
+	OpDistinct
+	OpUnion
+	OpExchange
+	OpWindow
+)
+
+var opNames = map[Op]string{
+	OpOutput:    "Output",
+	OpTableScan: "TableScan",
+	OpFilter:    "Filter",
+	OpProject:   "Project",
+	OpJoin:      "Join",
+	OpAggregate: "Aggregate",
+	OpSort:      "Sort",
+	OpTopN:      "TopN",
+	OpLimit:     "Limit",
+	OpDistinct:  "Distinct",
+	OpUnion:     "Union",
+	OpExchange:  "Exchange",
+	OpWindow:    "Window",
+}
+
+// String returns the operator's Presto-style name.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// AllOps lists every operator; the O-T-P encoder 1-hot encodes over this set.
+func AllOps() []Op {
+	return []Op{
+		OpOutput, OpTableScan, OpFilter, OpProject, OpJoin, OpAggregate,
+		OpSort, OpTopN, OpLimit, OpDistinct, OpUnion, OpExchange, OpWindow,
+	}
+}
+
+// Node is one operator in the logical plan DAG. Children are the operator's
+// inputs (0 for scans, 1 for unary operators, 2+ for joins and unions).
+type Node struct {
+	Op       Op
+	Table    string        // OpTableScan: scanned table name
+	Pred     sqlparse.Expr // OpFilter: filter predicate; OpJoin: join condition
+	JoinKind string        // OpJoin: INNER, LEFT, RIGHT, FULL, CROSS
+	Detail   string        // free-form annotation (projection list, sort keys, …)
+	Children []*Node
+}
+
+// NewNode returns a node with the given operator and children.
+func NewNode(op Op, children ...*Node) *Node {
+	return &Node{Op: op, Children: children}
+}
+
+// NodeCount returns the number of nodes in the plan rooted at n.
+func (n *Node) NodeCount() int {
+	if n == nil {
+		return 0
+	}
+	count := 1
+	for _, c := range n.Children {
+		count += c.NodeCount()
+	}
+	return count
+}
+
+// MaxDepth returns the largest root-to-leaf distance (root alone = 0), the
+// definition used in the paper's Fig 2.
+func (n *Node) MaxDepth() int {
+	if n == nil || len(n.Children) == 0 {
+		return 0
+	}
+	best := 0
+	for _, c := range n.Children {
+		if d := c.MaxDepth(); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}
+
+// Tables returns the distinct table names scanned anywhere in the plan.
+func (n *Node) Tables() []string {
+	seen := map[string]bool{}
+	var out []string
+	n.Walk(func(x *Node) {
+		if x.Op == OpTableScan && !seen[x.Table] {
+			seen[x.Table] = true
+			out = append(out, x.Table)
+		}
+	})
+	return out
+}
+
+// Predicates returns every filter and join predicate in the plan, rendered
+// to text in pre-order. These strings feed the Word2Vec training corpus.
+func (n *Node) Predicates() []string {
+	var out []string
+	n.Walk(func(x *Node) {
+		if x.Pred != nil {
+			out = append(out, sqlparse.ExprString(x.Pred))
+		}
+	})
+	return out
+}
+
+// Walk visits every node in pre-order.
+func (n *Node) Walk(f func(*Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// OperatorCounts tallies how many times each operator appears; the SVR
+// baseline's feature vector is built from these counts.
+func (n *Node) OperatorCounts() map[Op]int {
+	counts := map[Op]int{}
+	n.Walk(func(x *Node) { counts[x.Op]++ })
+	return counts
+}
+
+// Explain renders the plan as indented text in the style of
+// "EXPLAIN <text>" output.
+func (n *Node) Explain() string {
+	var b strings.Builder
+	n.explain(&b, 0)
+	return b.String()
+}
+
+func (n *Node) explain(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString("- ")
+	b.WriteString(n.Op.String())
+	switch {
+	case n.Op == OpTableScan:
+		fmt.Fprintf(b, "[%s]", n.Table)
+	case n.Op == OpJoin:
+		fmt.Fprintf(b, "[%s]", n.JoinKind)
+		if n.Pred != nil {
+			fmt.Fprintf(b, " ON %s", sqlparse.ExprString(n.Pred))
+		}
+	case n.Pred != nil:
+		fmt.Fprintf(b, "[%s]", sqlparse.ExprString(n.Pred))
+	case n.Detail != "":
+		fmt.Fprintf(b, "[%s]", n.Detail)
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		c.explain(b, depth+1)
+	}
+}
+
+// Clone returns a deep copy of the plan (expressions are shared; they are
+// immutable after parsing).
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{
+		Op:       n.Op,
+		Table:    n.Table,
+		Pred:     n.Pred,
+		JoinKind: n.JoinKind,
+		Detail:   n.Detail,
+	}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	return c
+}

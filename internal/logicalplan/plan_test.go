@@ -1,0 +1,203 @@
+package logicalplan
+
+import (
+	"strings"
+	"testing"
+
+	"prestroid/internal/sqlparse"
+)
+
+func mustPlan(t *testing.T, src string) *Node {
+	t.Helper()
+	p, err := PlanSQL(src)
+	if err != nil {
+		t.Fatalf("PlanSQL(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestPlanSimpleScanFilter(t *testing.T) {
+	p := mustPlan(t, "SELECT a FROM t WHERE a > 5")
+	// Output → Project → Filter → Exchange → TableScan
+	if p.Op != OpOutput {
+		t.Fatalf("root = %v", p.Op)
+	}
+	counts := p.OperatorCounts()
+	if counts[OpTableScan] != 1 || counts[OpFilter] != 1 || counts[OpProject] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := p.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("tables = %v", got)
+	}
+}
+
+func TestPlanJoinShape(t *testing.T) {
+	p := mustPlan(t, `SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y`)
+	counts := p.OperatorCounts()
+	if counts[OpJoin] != 2 {
+		t.Fatalf("join count = %d", counts[OpJoin])
+	}
+	if counts[OpTableScan] != 3 {
+		t.Fatalf("scan count = %d", counts[OpTableScan])
+	}
+	// Left-deep: the top join's left child subtree must contain the first join.
+	var join *Node
+	p.Walk(func(n *Node) {
+		if n.Op == OpJoin && join == nil {
+			join = n
+		}
+	})
+	if join.Children[0].OperatorCounts()[OpJoin] != 1 {
+		t.Fatal("expected left-deep join tree")
+	}
+}
+
+func TestPlanAggregateAndExchange(t *testing.T) {
+	p := mustPlan(t, "SELECT region, COUNT(*) FROM sales GROUP BY region")
+	counts := p.OperatorCounts()
+	if counts[OpAggregate] != 1 {
+		t.Fatalf("aggregate count = %d", counts[OpAggregate])
+	}
+	// Exchanges: one above the scan, one above the aggregate.
+	if counts[OpExchange] != 2 {
+		t.Fatalf("exchange count = %d", counts[OpExchange])
+	}
+}
+
+func TestPlanTopNVsSortVsLimit(t *testing.T) {
+	topn := mustPlan(t, "SELECT a FROM t ORDER BY a LIMIT 5").OperatorCounts()
+	if topn[OpTopN] != 1 || topn[OpSort] != 0 || topn[OpLimit] != 0 {
+		t.Fatalf("TopN plan = %v", topn)
+	}
+	sort := mustPlan(t, "SELECT a FROM t ORDER BY a").OperatorCounts()
+	if sort[OpSort] != 1 || sort[OpTopN] != 0 {
+		t.Fatalf("Sort plan = %v", sort)
+	}
+	limit := mustPlan(t, "SELECT a FROM t LIMIT 5").OperatorCounts()
+	if limit[OpLimit] != 1 || limit[OpTopN] != 0 {
+		t.Fatalf("Limit plan = %v", limit)
+	}
+}
+
+func TestPlanUnion(t *testing.T) {
+	p := mustPlan(t, "SELECT a FROM t1 UNION ALL SELECT a FROM t2")
+	counts := p.OperatorCounts()
+	if counts[OpUnion] != 1 || counts[OpTableScan] != 2 {
+		t.Fatalf("union plan = %v", counts)
+	}
+}
+
+func TestPlanSubqueryNesting(t *testing.T) {
+	p := mustPlan(t, `SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) s WHERE x < 10`)
+	counts := p.OperatorCounts()
+	if counts[OpFilter] != 2 {
+		t.Fatalf("filters = %d, want 2 (inner + outer)", counts[OpFilter])
+	}
+	if counts[OpProject] != 2 {
+		t.Fatalf("projects = %d, want 2", counts[OpProject])
+	}
+}
+
+func TestNodeCountAndDepth(t *testing.T) {
+	leaf := NewNode(OpTableScan)
+	leaf.Table = "t"
+	chain := NewNode(OpFilter, NewNode(OpProject, leaf))
+	if chain.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d", chain.NodeCount())
+	}
+	if chain.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth = %d", chain.MaxDepth())
+	}
+	if NewNode(OpTableScan).MaxDepth() != 0 {
+		t.Fatal("single node depth must be 0")
+	}
+}
+
+func TestPredicatesExtraction(t *testing.T) {
+	p := mustPlan(t, "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 3 AND b.z LIKE 'q%'")
+	preds := p.Predicates()
+	joined := strings.Join(preds, " | ")
+	for _, frag := range []string{"a.x = b.x", "a.y > 3", "LIKE 'q%'"} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("predicates %q missing %q", joined, frag)
+		}
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	p := mustPlan(t, "SELECT a FROM t WHERE a = 1")
+	out := p.Explain()
+	for _, frag := range []string{"Output", "Project", "Filter[a = 1]", "TableScan[t]"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+	// Indentation should increase down the chain.
+	if !strings.Contains(out, "  - ") {
+		t.Fatalf("Explain not indented:\n%s", out)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustPlan(t, "SELECT a FROM t WHERE a = 1")
+	c := p.Clone()
+	c.Children[0].Op = OpWindow
+	if p.Children[0].Op == OpWindow {
+		t.Fatal("Clone must not share nodes")
+	}
+	if c.NodeCount() != p.NodeCount() {
+		t.Fatal("Clone changed node count")
+	}
+}
+
+func TestOperatorStringNames(t *testing.T) {
+	for _, op := range AllOps() {
+		if strings.HasPrefix(op.String(), "Op(") {
+			t.Fatalf("operator %d missing name", op)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown op fallback broken")
+	}
+}
+
+func TestHavingBecomesFilter(t *testing.T) {
+	p := mustPlan(t, "SELECT region, COUNT(*) AS n FROM s GROUP BY region HAVING n > 2")
+	if p.OperatorCounts()[OpFilter] != 1 {
+		t.Fatalf("having filter missing: %v", p.OperatorCounts())
+	}
+}
+
+func TestDistinctPlan(t *testing.T) {
+	p := mustPlan(t, "SELECT DISTINCT a FROM t")
+	if p.OperatorCounts()[OpDistinct] != 1 {
+		t.Fatal("distinct node missing")
+	}
+}
+
+func TestPlanCrossJoinNoCondition(t *testing.T) {
+	p := mustPlan(t, "SELECT * FROM a, b")
+	var join *Node
+	p.Walk(func(n *Node) {
+		if n.Op == OpJoin {
+			join = n
+		}
+	})
+	if join == nil || join.JoinKind != "CROSS" || join.Pred != nil {
+		t.Fatalf("cross join = %#v", join)
+	}
+}
+
+func TestPlanPredicateTreePreserved(t *testing.T) {
+	p := mustPlan(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	var filter *Node
+	p.Walk(func(n *Node) {
+		if n.Op == OpFilter {
+			filter = n
+		}
+	})
+	be, ok := filter.Pred.(*sqlparse.BinaryExpr)
+	if !ok || be.Op != "OR" {
+		t.Fatalf("top of predicate tree = %#v, want OR (AND binds tighter)", filter.Pred)
+	}
+}

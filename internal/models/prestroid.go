@@ -1,0 +1,309 @@
+package models
+
+import (
+	"fmt"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/nn"
+	"prestroid/internal/otp"
+	"prestroid/internal/subtree"
+	"prestroid/internal/tensor"
+	"prestroid/internal/treecnn"
+	"prestroid/internal/workload"
+)
+
+// SamplingMode selects how a plan is decomposed into sub-trees. Algorithm 1
+// is the paper's contribution; the naive modes are the §4.3 ablation
+// baselines that discard receptive-field guarantees.
+type SamplingMode int
+
+// Sampling modes.
+const (
+	SamplingAlgorithm1 SamplingMode = iota
+	SamplingNaiveBFS
+	SamplingNaiveDFS
+)
+
+// PrestroidConfig configures both Prestroid variants. K > 0 selects the
+// sub-tree model Prestroid(N-K-Pf); K <= 0 selects the full-tree model
+// Prestroid(Full-Pf), which convolves whole plans like Neo.
+type PrestroidConfig struct {
+	N           int   // max nodes per sub-tree (paper: 15 or 32)
+	K           int   // sub-trees per query (paper: 5..47); <=0 = full tree
+	ConvWidths  []int // conv kernel counts (paper: 512/512/512, TPC-DS 128^3)
+	DenseWidths []int // head widths (paper: 128/64, TPC-DS 32/8)
+	Dropout     float64
+	BatchNorm   bool
+	LR          float64
+	Seed        uint64
+
+	// Sampling selects Algorithm 1 or a naive pruning ablation.
+	Sampling SamplingMode
+	// DisableVotes forces every node to vote (ablation: boundary nodes with
+	// incomplete receptive fields leak into pooling).
+	DisableVotes bool
+}
+
+// DefaultPrestroidConfig returns a scaled-down architecture suitable for CPU
+// training; the paper-scale variant uses ConvWidths {512,512,512} and
+// DenseWidths {128,64}.
+func DefaultPrestroidConfig(n, k int) PrestroidConfig {
+	return PrestroidConfig{
+		N:           n,
+		K:           k,
+		ConvWidths:  []int{64, 64, 64},
+		DenseWidths: []int{32, 16},
+		Dropout:     0.1,
+		BatchNorm:   true,
+		LR:          1e-3,
+		Seed:        1,
+	}
+}
+
+// Prestroid is the paper's tree-convolution cost model.
+type Prestroid struct {
+	cfg  PrestroidConfig
+	pipe *Pipeline
+
+	conv *treecnn.Network
+	head []nn.Layer
+
+	params []*nn.Param
+	opt    *nn.Adam
+	loss   nn.HuberLoss
+
+	cache    map[*workload.Trace][]*treecnn.Tree
+	maxNodes int // full-tree padding target, set during Prepare
+}
+
+// NewPrestroid builds the model over a shared pipeline.
+func NewPrestroid(cfg PrestroidConfig, pipe *Pipeline) *Prestroid {
+	rng := tensor.NewRNG(cfg.Seed)
+	featDim := pipe.Enc.FeatureDim()
+	conv := treecnn.NewNetwork(featDim, cfg.ConvWidths, rng)
+
+	k := cfg.K
+	if k <= 0 {
+		k = 1
+	}
+	in := k * conv.OutDim()
+	var head []nn.Layer
+	for _, w := range cfg.DenseWidths {
+		head = append(head, nn.NewDense(in, w, rng))
+		if cfg.BatchNorm {
+			head = append(head, nn.NewBatchNorm(w))
+		}
+		head = append(head, nn.NewReLU())
+		if cfg.Dropout > 0 {
+			head = append(head, nn.NewDropout(cfg.Dropout, rng))
+		}
+		in = w
+	}
+	head = append(head, nn.NewDense(in, 1, rng), nn.NewSigmoid())
+
+	m := &Prestroid{
+		cfg:   cfg,
+		pipe:  pipe,
+		conv:  conv,
+		head:  head,
+		loss:  nn.NewHuberLoss(1),
+		opt:   nn.NewAdam(cfg.LR),
+		cache: make(map[*workload.Trace][]*treecnn.Tree),
+	}
+	m.params = append(m.params, conv.Params()...)
+	for _, l := range head {
+		m.params = append(m.params, l.Params()...)
+	}
+	return m
+}
+
+// Name reports the paper's naming convention: Prestroid (N-K-Pf) for
+// sub-tree models, Prestroid (Full-Pf) for full-tree models.
+func (m *Prestroid) Name() string {
+	if m.cfg.K > 0 {
+		return fmt.Sprintf("Prestroid (%d-%d-%d)", m.cfg.N, m.cfg.K, m.pipe.Enc.Pf)
+	}
+	return fmt.Sprintf("Prestroid (Full-%d)", m.pipe.Enc.Pf)
+}
+
+// maxSamplingC returns the largest C satisfying Algorithm 1's constraint
+// N > 2^(C+1)-1. The paper's own Prestroid(15-K-Pf) setting pairs N=15 with
+// three convolution layers, which violates the stated constraint (15 is not
+// > 2^4-1); we therefore cap the sampling depth at the legal maximum, which
+// relaxes the vote guarantee for the deepest convolution layer exactly as
+// the authors' configuration implies.
+func maxSamplingC(n int) int {
+	c := 1
+	for (1<<(c+2))-1 < n {
+		c++
+	}
+	return c
+}
+
+// Prepare recasts, samples and flattens each trace's plan once.
+func (m *Prestroid) Prepare(traces []*workload.Trace) {
+	c := len(m.cfg.ConvWidths)
+	if max := maxSamplingC(m.cfg.N); c > max {
+		c = max
+	}
+	sampleCfg := subtree.Config{N: m.cfg.N, C: c}
+	for _, tr := range traces {
+		if _, ok := m.cache[tr]; ok {
+			continue
+		}
+		root := otp.Recast(tr.Plan)
+		qctx := m.pipe.Enc.NewQueryContext(root)
+		if m.cfg.K <= 0 {
+			full := treecnn.FlattenFull(root, m.pipe.Enc, qctx)
+			m.cache[tr] = []*treecnn.Tree{full}
+			if full.Len() > m.maxNodes {
+				m.maxNodes = full.Len()
+			}
+			continue
+		}
+		var samples []subtree.SubTree
+		switch m.cfg.Sampling {
+		case SamplingNaiveBFS:
+			samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, false)
+		case SamplingNaiveDFS:
+			samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, true)
+		default:
+			var err error
+			samples, err = subtree.Sample(root, sampleCfg)
+			if err != nil {
+				panic(fmt.Sprintf("models: %v", err))
+			}
+			samples = subtree.Select(samples, m.cfg.K)
+		}
+		trees := make([]*treecnn.Tree, 0, len(samples))
+		for _, st := range samples {
+			ft := treecnn.FlattenSubTree(st, m.pipe.Enc, qctx)
+			if m.cfg.DisableVotes {
+				for i := range ft.Votes {
+					ft.Votes[i] = 1
+				}
+			}
+			trees = append(trees, ft)
+		}
+		m.cache[tr] = trees
+	}
+}
+
+// trees returns the cached trees for a trace, preparing lazily if needed.
+func (m *Prestroid) trees(tr *workload.Trace) []*treecnn.Tree {
+	ts, ok := m.cache[tr]
+	if !ok {
+		m.Prepare([]*workload.Trace{tr})
+		ts = m.cache[tr]
+	}
+	return ts
+}
+
+// slots returns the number of tree slots per sample.
+func (m *Prestroid) slots() int {
+	if m.cfg.K > 0 {
+		return m.cfg.K
+	}
+	return 1
+}
+
+// forward computes the (batch, slots*convOut) flattened conv features,
+// returning the per-tree contexts needed for backward (nil when inference).
+func (m *Prestroid) forward(batch []*workload.Trace, keepCtx bool) (*tensor.Tensor, [][]*treecnn.Context) {
+	k := m.slots()
+	out := tensor.New(len(batch), k*m.conv.OutDim())
+	var ctxs [][]*treecnn.Context
+	if keepCtx {
+		ctxs = make([][]*treecnn.Context, len(batch))
+	}
+	for bi, tr := range batch {
+		trees := m.trees(tr)
+		if keepCtx {
+			ctxs[bi] = make([]*treecnn.Context, len(trees))
+		}
+		row := out.Row(bi)
+		for ti, tree := range trees {
+			if ti >= k {
+				break
+			}
+			pooled, ctx := m.conv.Forward(tree)
+			copy(row[ti*m.conv.OutDim():(ti+1)*m.conv.OutDim()], pooled.Data)
+			if keepCtx {
+				ctxs[bi][ti] = ctx
+			}
+		}
+		// Missing sub-trees (fewer than K samples) stay zero — the paper's
+		// padding of short queries.
+	}
+	return out, ctxs
+}
+
+// TrainBatch performs one ADAM step on Huber loss.
+func (m *Prestroid) TrainBatch(batch []*workload.Trace, labels *tensor.Tensor) float64 {
+	feats, ctxs := m.forward(batch, true)
+	x := feats
+	for _, l := range m.head {
+		x = l.Forward(x, true)
+	}
+	lossVal := m.loss.Value(x, labels)
+	g := m.loss.Grad(x, labels)
+	for i := len(m.head) - 1; i >= 0; i-- {
+		g = m.head[i].Backward(g)
+	}
+	// g is now (batch, slots*convOut): route slices to each tree.
+	od := m.conv.OutDim()
+	for bi := range batch {
+		row := g.Row(bi)
+		for ti, ctx := range ctxs[bi] {
+			if ctx == nil {
+				continue
+			}
+			m.conv.Backward(ctx, tensor.FromSlice(row[ti*od:(ti+1)*od], 1, od))
+		}
+	}
+	m.opt.Step(m.params)
+	return lossVal
+}
+
+// Predict runs inference.
+func (m *Prestroid) Predict(batch []*workload.Trace) *tensor.Tensor {
+	feats, _ := m.forward(batch, false)
+	x := feats
+	for _, l := range m.head {
+		x = l.Forward(x, false)
+	}
+	return x
+}
+
+// ParamCount returns trainable scalars.
+func (m *Prestroid) ParamCount() int { return nn.ParamCount(m.params) }
+
+// BatchBytes reports the padded per-batch input size: sub-tree models pad to
+// K × N slots; full-tree models pad every plan to the largest plan seen.
+func (m *Prestroid) BatchBytes(batchSize int) int {
+	featDim := m.pipe.Enc.FeatureDim()
+	if m.cfg.K > 0 {
+		return dataset.PaddedSubTreeBatchBytes(batchSize, m.cfg.K, m.cfg.N, featDim)
+	}
+	n := m.maxNodes
+	if n == 0 {
+		n = 1
+	}
+	return dataset.PaddedTreeBatchBytes(batchSize, n, featDim)
+}
+
+// Weights exposes the trainable parameters for persistence and for
+// data-parallel weight synchronisation.
+func (m *Prestroid) Weights() []*nn.Param { return m.params }
+
+// StateTensors exposes non-trainable layer state (batch-norm running
+// statistics) for persistence and replica synchronisation.
+func (m *Prestroid) StateTensors() []*tensor.Tensor { return nn.CollectState(m.head) }
+
+// Evict drops cached encodings for traces the caller no longer needs —
+// long-running inference services evict after each request to bound memory.
+func (m *Prestroid) Evict(traces []*workload.Trace) {
+	for _, tr := range traces {
+		delete(m.cache, tr)
+	}
+}

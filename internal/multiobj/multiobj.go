@@ -1,0 +1,167 @@
+// Package multiobj implements multi-objective resource forecasting — the
+// extension the paper explicitly defers ("we focus on single objective
+// learning in which the model has to predict how much total CPU time a
+// query consumes", §4). A MultiPredictor trains one Prestroid head per
+// resource dimension of the Presto profile (CPU minutes, peak memory, input
+// bytes) over the shared feature pipeline, so a platform can provision all
+// three budgets from one parse.
+package multiobj
+
+import (
+	"fmt"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/tensor"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+// Objective identifies one resource dimension.
+type Objective int
+
+// The three resource objectives of the Presto profile (App A).
+const (
+	ObjCPU Objective = iota
+	ObjMemory
+	ObjInput
+	numObjectives
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjCPU:
+		return "cpu_minutes"
+	case ObjMemory:
+		return "peak_mem_gb"
+	case ObjInput:
+		return "input_gb"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// labelFunc extracts the objective's ground truth from a trace.
+func (o Objective) labelFunc() func(*workload.Trace) float64 {
+	switch o {
+	case ObjMemory:
+		return func(t *workload.Trace) float64 { return t.Profile.PeakMemGB }
+	case ObjInput:
+		return func(t *workload.Trace) float64 { return t.Profile.InputGB }
+	default:
+		return func(t *workload.Trace) float64 { return t.Profile.CPUMinutes }
+	}
+}
+
+// Forecast is one query's predicted resource profile.
+type Forecast struct {
+	CPUMinutes float64
+	PeakMemGB  float64
+	InputGB    float64
+}
+
+// MultiPredictor holds one trained head per objective.
+type MultiPredictor struct {
+	heads [numObjectives]models.Model
+	norms [numObjectives]workload.Normalizer
+}
+
+// New builds the three heads over a shared pipeline with the given base
+// configuration (seeds are varied per head).
+func New(cfg models.PrestroidConfig, pipe *models.Pipeline) *MultiPredictor {
+	mp := &MultiPredictor{}
+	for o := Objective(0); o < numObjectives; o++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(o)*101
+		mp.heads[o] = models.NewPrestroid(c, pipe)
+	}
+	return mp
+}
+
+// Result reports per-objective training outcomes. MSE units are the square
+// of each objective's natural unit.
+type Result struct {
+	PerObjective [numObjectives]train.Result
+}
+
+// Train fits every head with early stopping, each against its own
+// normalised label.
+func (mp *MultiPredictor) Train(split dataset.Split, cfg train.Config) Result {
+	var res Result
+	for o := Objective(0); o < numObjectives; o++ {
+		label := o.labelFunc()
+		mp.norms[o] = workload.FitNormalizerBy(split.Train, label)
+		res.PerObjective[o] = runWithLabel(mp.heads[o], split, mp.norms[o], label, cfg)
+	}
+	return res
+}
+
+// runWithLabel is train.Run generalised to an arbitrary objective.
+func runWithLabel(m models.Model, split dataset.Split, norm workload.Normalizer, label func(*workload.Trace) float64, cfg train.Config) train.Result {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 30
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 5
+	}
+	m.Prepare(split.Train)
+	m.Prepare(split.Val)
+	m.Prepare(split.Test)
+
+	rng := tensor.NewRNG(cfg.Seed)
+	res := train.Result{BestValMSE: 1e308}
+	bad := 0
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		totalLoss, n := 0.0, 0
+		for _, batch := range dataset.Batches(split.Train, cfg.BatchSize, rng) {
+			labels := dataset.LabelsBy(batch, norm, label)
+			totalLoss += m.TrainBatch(batch, labels)
+			n++
+		}
+		res.EpochsRun = epoch
+		res.TrainLosses = append(res.TrainLosses, totalLoss/float64(n))
+		valMSE := models.MSEBy(m, split.Val, norm, label)
+		if valMSE < res.BestValMSE {
+			res.BestValMSE = valMSE
+			res.BestEpoch = epoch
+			res.TestMSE = models.MSEBy(m, split.Test, norm, label)
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// Predict forecasts all three resource dimensions for the traces.
+func (mp *MultiPredictor) Predict(traces []*workload.Trace) []Forecast {
+	out := make([]Forecast, len(traces))
+	for o := Objective(0); o < numObjectives; o++ {
+		mp.heads[o].Prepare(traces)
+		pred := mp.heads[o].Predict(traces)
+		for i := range traces {
+			v := mp.norms[o].Denormalize(pred.Data[i])
+			switch o {
+			case ObjCPU:
+				out[i].CPUMinutes = v
+			case ObjMemory:
+				out[i].PeakMemGB = v
+			case ObjInput:
+				out[i].InputGB = v
+			}
+		}
+	}
+	return out
+}
+
+// Head exposes one objective's trained model (e.g. for persistence).
+func (mp *MultiPredictor) Head(o Objective) models.Model { return mp.heads[o] }
+
+// Norm exposes one objective's normaliser.
+func (mp *MultiPredictor) Norm(o Objective) workload.Normalizer { return mp.norms[o] }

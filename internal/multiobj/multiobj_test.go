@@ -1,0 +1,123 @@
+package multiobj
+
+import (
+	"testing"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/train"
+	"prestroid/internal/workload"
+)
+
+func fixture(t *testing.T) (dataset.Split, *models.Pipeline) {
+	t.Helper()
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 200
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 1)
+	pcfg := models.DefaultPipelineConfig(8)
+	pcfg.MinCount = 2
+	return split, models.BuildPipeline(split.Train, pcfg)
+}
+
+func smallCfg() models.PrestroidConfig {
+	cfg := models.DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{12, 12}
+	cfg.DenseWidths = []int{12}
+	cfg.LR = 5e-3
+	return cfg
+}
+
+func TestObjectiveNames(t *testing.T) {
+	if ObjCPU.String() != "cpu_minutes" || ObjMemory.String() != "peak_mem_gb" || ObjInput.String() != "input_gb" {
+		t.Fatal("objective names wrong")
+	}
+}
+
+func TestMultiTrainAndPredict(t *testing.T) {
+	split, pipe := fixture(t)
+	mp := New(smallCfg(), pipe)
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 6
+	tcfg.Patience = 3
+	res := mp.Train(split, tcfg)
+	for o := Objective(0); o < numObjectives; o++ {
+		r := res.PerObjective[o]
+		if r.TestMSE <= 0 {
+			t.Fatalf("%s test MSE = %v", o, r.TestMSE)
+		}
+		first := r.TrainLosses[0]
+		last := r.TrainLosses[len(r.TrainLosses)-1]
+		if last >= first {
+			t.Fatalf("%s loss did not improve: %v -> %v", o, first, last)
+		}
+	}
+
+	forecasts := mp.Predict(split.Test[:5])
+	if len(forecasts) != 5 {
+		t.Fatalf("forecasts = %d", len(forecasts))
+	}
+	for i, f := range forecasts {
+		if f.CPUMinutes <= 0 || f.PeakMemGB <= 0 || f.InputGB <= 0 {
+			t.Fatalf("forecast %d has non-positive fields: %+v", i, f)
+		}
+	}
+}
+
+func TestHeadsAreIndependent(t *testing.T) {
+	split, pipe := fixture(t)
+	mp := New(smallCfg(), pipe)
+	if mp.Head(ObjCPU) == mp.Head(ObjMemory) {
+		t.Fatal("heads must be distinct models")
+	}
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 2
+	tcfg.Patience = 2
+	mp.Train(split, tcfg)
+	// Normalisers differ because objectives have different label scales.
+	if mp.Norm(ObjCPU) == mp.Norm(ObjMemory) {
+		t.Fatal("per-objective normalisers should differ")
+	}
+}
+
+func TestForecastsTrackGroundTruthOrdering(t *testing.T) {
+	split, pipe := fixture(t)
+	mp := New(smallCfg(), pipe)
+	tcfg := train.DefaultConfig()
+	tcfg.MaxEpochs = 10
+	tcfg.Patience = 5
+	mp.Train(split, tcfg)
+
+	// Correlation check: mean forecast over the cheapest third of test
+	// queries should be below the mean over the priciest third (weak but
+	// scale-free signal that the CPU head learned something).
+	test := split.Test
+	if len(test) < 9 {
+		t.Skip("test split too small")
+	}
+	fc := mp.Predict(test)
+	type pair struct{ actual, pred float64 }
+	pairs := make([]pair, len(test))
+	for i := range test {
+		pairs[i] = pair{test[i].CPUMinutes(), fc[i].CPUMinutes}
+	}
+	// Partition by actual cost.
+	lo, hi := 0.0, 0.0
+	nlo, nhi := 0, 0
+	for _, p := range pairs {
+		if p.actual < 5 {
+			lo += p.pred
+			nlo++
+		} else if p.actual > 20 {
+			hi += p.pred
+			nhi++
+		}
+	}
+	if nlo == 0 || nhi == 0 {
+		t.Skip("degenerate split")
+	}
+	if lo/float64(nlo) >= hi/float64(nhi) {
+		t.Fatalf("cheap queries predicted at %.2f, expensive at %.2f — no signal",
+			lo/float64(nlo), hi/float64(nhi))
+	}
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+
+	"prestroid/internal/tensor"
+)
+
+// Conv1D slides Window-wide kernels over the time axis of a
+// (batch, seqLen, inDim) tensor, producing (batch, seqLen-Window+1, Kernels).
+// This is the word-convolution filter of the WCNN baseline (windows 3/4/5
+// with 100 or 250 kernels in the paper).
+type Conv1D struct {
+	Window  int
+	InDim   int
+	Kernels int
+	Weight  *Param // (Window*InDim, Kernels)
+	Bias    *Param // (Kernels)
+
+	lastInput *tensor.Tensor
+}
+
+// NewConv1D returns a 1-D convolution with Glorot-uniform kernels.
+func NewConv1D(window, inDim, kernels int, rng *tensor.RNG) *Conv1D {
+	c := &Conv1D{
+		Window:  window,
+		InDim:   inDim,
+		Kernels: kernels,
+		Weight:  NewParam("conv1d.w", window*inDim, kernels),
+		Bias:    NewParam("conv1d.b", kernels),
+	}
+	rng.GlorotUniform(c.Weight.W, window*inDim, kernels)
+	return c
+}
+
+// Forward computes the valid convolution out[b,t,k] = Σ_w Σ_d x[b,t+w,d]·W[w,d,k] + b[k].
+func (c *Conv1D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	CheckShape(x, 3, "Conv1D")
+	c.lastInput = x
+	batch, seqLen, inDim := x.Shape[0], x.Shape[1], x.Shape[2]
+	if inDim != c.InDim {
+		panic("nn: Conv1D input dim mismatch")
+	}
+	outLen := seqLen - c.Window + 1
+	if outLen < 1 {
+		panic("nn: Conv1D sequence shorter than window")
+	}
+	out := tensor.New(batch, outLen, c.Kernels)
+	wk := c.Window * inDim
+	for b := 0; b < batch; b++ {
+		for t := 0; t < outLen; t++ {
+			// Contiguous slice covering the window (rows t..t+Window-1).
+			win := x.Data[(b*seqLen+t)*inDim : (b*seqLen+t)*inDim+wk]
+			orow := out.Data[(b*outLen+t)*c.Kernels : (b*outLen+t+1)*c.Kernels]
+			for k := 0; k < c.Kernels; k++ {
+				s := c.Bias.W.Data[k]
+				for p := 0; p < wk; p++ {
+					s += win[p] * c.Weight.W.Data[p*c.Kernels+k]
+				}
+				orow[k] = s
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns dL/dx.
+func (c *Conv1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	batch, seqLen, inDim := x.Shape[0], x.Shape[1], x.Shape[2]
+	outLen := gradOut.Shape[1]
+	gx := tensor.New(batch, seqLen, inDim)
+	wk := c.Window * inDim
+	for b := 0; b < batch; b++ {
+		for t := 0; t < outLen; t++ {
+			win := x.Data[(b*seqLen+t)*inDim : (b*seqLen+t)*inDim+wk]
+			gwin := gx.Data[(b*seqLen+t)*inDim : (b*seqLen+t)*inDim+wk]
+			grow := gradOut.Data[(b*outLen+t)*c.Kernels : (b*outLen+t+1)*c.Kernels]
+			for k := 0; k < c.Kernels; k++ {
+				g := grow[k]
+				if g == 0 {
+					continue
+				}
+				c.Bias.G.Data[k] += g
+				for p := 0; p < wk; p++ {
+					c.Weight.G.Data[p*c.Kernels+k] += g * win[p]
+					gwin[p] += g * c.Weight.W.Data[p*c.Kernels+k]
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// Params returns the kernel weights and bias.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// GlobalMaxPool1D reduces (batch, seqLen, dim) to (batch, dim) by taking the
+// maximum over the time axis, remembering argmax positions for backward.
+type GlobalMaxPool1D struct {
+	argmax  []int
+	inShape []int
+}
+
+// NewGlobalMaxPool1D returns a global max-over-time pooling layer.
+func NewGlobalMaxPool1D() *GlobalMaxPool1D { return &GlobalMaxPool1D{} }
+
+// Forward takes the per-channel max over time.
+func (p *GlobalMaxPool1D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	CheckShape(x, 3, "GlobalMaxPool1D")
+	batch, seqLen, dim := x.Shape[0], x.Shape[1], x.Shape[2]
+	p.inShape = []int{batch, seqLen, dim}
+	out := tensor.New(batch, dim)
+	if cap(p.argmax) < batch*dim {
+		p.argmax = make([]int, batch*dim)
+	}
+	p.argmax = p.argmax[:batch*dim]
+	for b := 0; b < batch; b++ {
+		for d := 0; d < dim; d++ {
+			best := math.Inf(-1)
+			bestT := 0
+			for t := 0; t < seqLen; t++ {
+				v := x.Data[(b*seqLen+t)*dim+d]
+				if v > best {
+					best = v
+					bestT = t
+				}
+			}
+			out.Data[b*dim+d] = best
+			p.argmax[b*dim+d] = bestT
+		}
+	}
+	return out
+}
+
+// Backward routes each gradient to the position that won the max.
+func (p *GlobalMaxPool1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	batch, seqLen, dim := p.inShape[0], p.inShape[1], p.inShape[2]
+	gx := tensor.New(batch, seqLen, dim)
+	for b := 0; b < batch; b++ {
+		for d := 0; d < dim; d++ {
+			t := p.argmax[b*dim+d]
+			gx.Data[(b*seqLen+t)*dim+d] = gradOut.Data[b*dim+d]
+		}
+	}
+	return gx
+}
+
+// Params returns nil; pooling has no trainable parameters.
+func (p *GlobalMaxPool1D) Params() []*Param { return nil }

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"prestroid/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = xW + b over a batch
+// (batch, in) → (batch, out).
+type Dense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	lastInput *tensor.Tensor
+}
+
+// NewDense returns a dense layer with Glorot-uniform weights and zero bias.
+func NewDense(in, out int, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		Weight: NewParam("dense.w", in, out),
+		Bias:   NewParam("dense.b", out),
+	}
+	rng.GlorotUniform(d.Weight.W, in, out)
+	return d
+}
+
+// Forward computes xW + b and caches x for the backward pass.
+func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	CheckShape(x, 2, "Dense")
+	d.lastInput = x
+	out := tensor.MatMul(x, d.Weight.W)
+	tensor.AddRowVector(out, d.Bias.W)
+	return out
+}
+
+// Backward accumulates dL/dW = xᵀg and dL/db = Σ_batch g, returning
+// dL/dx = g Wᵀ.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gw := tensor.MatMulTransA(d.lastInput, gradOut)
+	d.Weight.G.AddInPlace(gw)
+	d.Bias.G.AddInPlace(tensor.SumRows(gradOut))
+	return tensor.MatMulTransB(gradOut, d.Weight.W)
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }

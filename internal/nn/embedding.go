@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"prestroid/internal/tensor"
+)
+
+// Embedding maps integer token ids to trainable dense vectors. It is the
+// WCNN baseline's first layer (token embedding of dimension 100 in the
+// paper). Index 0 is conventionally the padding token; its rows still
+// receive gradients unless the caller masks them.
+type Embedding struct {
+	VocabSize int
+	Dim       int
+	Weight    *Param
+
+	lastIDs [][]int
+}
+
+// NewEmbedding returns an embedding table initialised uniformly in
+// [-0.05, 0.05], matching common Keras defaults.
+func NewEmbedding(vocabSize, dim int, rng *tensor.RNG) *Embedding {
+	e := &Embedding{
+		VocabSize: vocabSize,
+		Dim:       dim,
+		Weight:    NewParam("emb.w", vocabSize, dim),
+	}
+	rng.FillUniform(e.Weight.W, -0.05, 0.05)
+	return e
+}
+
+// ForwardIDs looks up a batch of equal-length id sequences, producing a
+// (batch, seqLen, dim) tensor.
+func (e *Embedding) ForwardIDs(ids [][]int) *tensor.Tensor {
+	batch := len(ids)
+	seqLen := len(ids[0])
+	out := tensor.New(batch, seqLen, e.Dim)
+	for b, seq := range ids {
+		if len(seq) != seqLen {
+			panic("nn: Embedding requires equal-length sequences (pad first)")
+		}
+		for t, id := range seq {
+			if id < 0 || id >= e.VocabSize {
+				panic("nn: Embedding id out of range")
+			}
+			src := e.Weight.W.Data[id*e.Dim : (id+1)*e.Dim]
+			dst := out.Data[(b*seqLen+t)*e.Dim : (b*seqLen+t+1)*e.Dim]
+			copy(dst, src)
+		}
+	}
+	e.lastIDs = ids
+	return out
+}
+
+// BackwardIDs scatters the (batch, seqLen, dim) gradient back onto the rows
+// selected in the last ForwardIDs call.
+func (e *Embedding) BackwardIDs(gradOut *tensor.Tensor) {
+	batch := len(e.lastIDs)
+	seqLen := len(e.lastIDs[0])
+	for b := 0; b < batch; b++ {
+		for t := 0; t < seqLen; t++ {
+			id := e.lastIDs[b][t]
+			g := gradOut.Data[(b*seqLen+t)*e.Dim : (b*seqLen+t+1)*e.Dim]
+			dst := e.Weight.G.Data[id*e.Dim : (id+1)*e.Dim]
+			for i := range g {
+				dst[i] += g[i]
+			}
+		}
+	}
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Weight} }

@@ -1,0 +1,148 @@
+// Package otp implements the Operator-Table-Predicate recasting of §4.1:
+// a logical plan is rewritten into a binary tree whose nodes are OPR
+// (operator wildcards), TBL (scanned tables) and PRED (filter conditions),
+// padded with ∅ nodes so every internal node has exactly two children. The
+// package also provides the node-level feature encoding of §4.2: 1-hot
+// operators and tables, Word2Vec predicate embeddings with MIN/MAX pooling
+// over AND/OR conjunction trees, and the out-of-vocabulary fallback
+// hierarchy.
+package otp
+
+import (
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/sqlparse"
+)
+
+// NodeType distinguishes the O-T-P node categories.
+type NodeType int
+
+// O-T-P node categories. Null nodes are the ∅ padding added to force a
+// complete binary structure.
+const (
+	NodeNull NodeType = iota
+	NodeOpr
+	NodePred
+	NodeTbl
+)
+
+// String names the category.
+func (t NodeType) String() string {
+	switch t {
+	case NodeNull:
+		return "∅"
+	case NodeOpr:
+		return "OPR"
+	case NodePred:
+		return "PRED"
+	case NodeTbl:
+		return "TBL"
+	}
+	return "?"
+}
+
+// Node is one vertex of the recast binary tree.
+type Node struct {
+	Type  NodeType
+	Op    logicalplan.Op // when Type == NodeOpr
+	Table string         // when Type == NodeTbl
+	Pred  sqlparse.Expr  // when Type == NodePred
+	Left  *Node
+	Right *Node
+}
+
+// nullNode returns a fresh ∅ node.
+func nullNode() *Node { return &Node{Type: NodeNull} }
+
+// Recast rewrites a logical plan into its O-T-P binary tree following the
+// four rules of §4.1:
+//
+//   - non-join node: becomes OPR, right child = PRED carrying its predicate
+//     (∅ when the operator has none), left child = recast input;
+//   - join node: becomes OPR with both inputs recast in place;
+//   - leaf (table scan): becomes OPR, left child = TBL with the table name,
+//     right child = ∅;
+//   - any node left with fewer than two children gains ∅ children.
+func Recast(plan *logicalplan.Node) *Node {
+	if plan == nil {
+		return nullNode()
+	}
+	n := &Node{Type: NodeOpr, Op: plan.Op}
+	switch {
+	case plan.Op == logicalplan.OpTableScan:
+		n.Left = &Node{Type: NodeTbl, Table: plan.Table}
+		n.Right = nullNode()
+	case len(plan.Children) >= 2:
+		// Join/Union: children recast in place. (Rule 2 keeps join inputs
+		// untouched; the join condition is not materialised as a PRED node.)
+		n.Left = Recast(plan.Children[0])
+		n.Right = Recast(plan.Children[1])
+	default:
+		var input *logicalplan.Node
+		if len(plan.Children) == 1 {
+			input = plan.Children[0]
+		}
+		n.Left = Recast(input)
+		if plan.Pred != nil {
+			n.Right = &Node{Type: NodePred, Pred: plan.Pred}
+		} else {
+			n.Right = nullNode()
+		}
+	}
+	return n
+}
+
+// NodeCount counts every node in the recast tree, including ∅ padding.
+func (n *Node) NodeCount() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.NodeCount() + n.Right.NodeCount()
+}
+
+// RealNodeCount counts non-∅ nodes.
+func (n *Node) RealNodeCount() int {
+	if n == nil || n.Type == NodeNull {
+		return 0
+	}
+	return 1 + n.Left.RealNodeCount() + n.Right.RealNodeCount()
+}
+
+// MaxDepth returns the longest root-to-leaf edge count.
+func (n *Node) MaxDepth() int {
+	if n == nil || (n.Left == nil && n.Right == nil) {
+		return 0
+	}
+	l, r := 0, 0
+	if n.Left != nil {
+		l = n.Left.MaxDepth() + 1
+	}
+	if n.Right != nil {
+		r = n.Right.MaxDepth() + 1
+	}
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// Walk visits nodes in pre-order.
+func (n *Node) Walk(f func(*Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	n.Left.Walk(f)
+	n.Right.Walk(f)
+}
+
+// IsBinary reports whether every non-leaf node has exactly two non-nil
+// children — the structural invariant Recast must establish.
+func (n *Node) IsBinary() bool {
+	if n == nil {
+		return true
+	}
+	if (n.Left == nil) != (n.Right == nil) {
+		return false
+	}
+	return n.Left.IsBinary() && n.Right.IsBinary()
+}

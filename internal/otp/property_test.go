@@ -1,0 +1,96 @@
+package otp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/word2vec"
+	"prestroid/internal/workload"
+)
+
+// TestRecastPipelinePropertyOverWorkload runs the full front half of the
+// pipeline over generated queries and checks structural invariants that
+// every downstream consumer relies on.
+func TestRecastPipelinePropertyOverWorkload(t *testing.T) {
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 150
+	traces := workload.NewGrabGenerator(cfg).Generate()
+
+	var plans []*logicalplan.Node
+	tables := map[string]bool{}
+	for _, tr := range traces {
+		plans = append(plans, tr.Plan)
+		for _, tb := range tr.Plan.Tables() {
+			tables[tb] = true
+		}
+	}
+	names := make([]string, 0, len(tables))
+	for tb := range tables {
+		names = append(names, tb)
+	}
+	w2vCfg := word2vec.DefaultConfig(8)
+	w2vCfg.MinCount = 2
+	w2vCfg.Epochs = 2
+	enc := NewEncoder(names, word2vec.Train(Corpus(plans), w2vCfg))
+
+	for i, p := range plans {
+		root := Recast(p)
+		if !root.IsBinary() {
+			t.Fatalf("plan %d: recast not binary", i)
+		}
+		// Real node count relates to plan nodes: every plan node becomes an
+		// OPR, plus TBL per scan and PRED per predicate-bearing operator.
+		scans := p.OperatorCounts()[logicalplan.OpTableScan]
+		preds := 0
+		p.Walk(func(n *logicalplan.Node) {
+			if n.Pred != nil && n.Op != logicalplan.OpJoin {
+				preds++
+			}
+		})
+		wantReal := p.NodeCount() + scans + preds
+		if got := root.RealNodeCount(); got != wantReal {
+			t.Fatalf("plan %d: real nodes %d, want %d", i, got, wantReal)
+		}
+		ctx := enc.NewQueryContext(root)
+		root.Walk(func(n *Node) {
+			f := enc.NodeFeature(n, ctx)
+			if len(f) != enc.FeatureDim() {
+				t.Fatalf("plan %d: feature width %d", i, len(f))
+			}
+			for _, v := range f {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("plan %d: non-finite feature", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRecastDeterministic verifies recasting is a pure function.
+func TestRecastDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := workload.PlanSampleConfig{Count: 1, Seed: seed, MaxNodes: 200, TailFraction: 0}
+		p := workload.GeneratePlanSample(cfg)[0]
+		a := Recast(p)
+		b := Recast(p)
+		return sameShape(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameShape(a, b *Node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Type != b.Type || a.Op != b.Op || a.Table != b.Table {
+		return false
+	}
+	return sameShape(a.Left, b.Left) && sameShape(a.Right, b.Right)
+}

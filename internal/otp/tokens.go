@@ -1,0 +1,121 @@
+package otp
+
+import (
+	"strings"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/sqlparse"
+)
+
+// PredTokens extracts the Word2Vec training tokens from a predicate
+// expression: column names and comparison operators, with conjunctions and
+// literal values stripped, exactly as Fig 4 of the paper illustrates
+// ("orders > 10 AND id < 100" → {orders, >, id, <}).
+func PredTokens(e sqlparse.Expr) []string {
+	var out []string
+	collectTokens(e, &out)
+	return out
+}
+
+func collectTokens(e sqlparse.Expr, out *[]string) {
+	switch v := e.(type) {
+	case sqlparse.ColumnRef:
+		*out = append(*out, strings.ToLower(v.Column))
+	case *sqlparse.BinaryExpr:
+		if v.Op == "AND" || v.Op == "OR" {
+			collectTokens(v.Left, out)
+			collectTokens(v.Right, out)
+			return
+		}
+		collectTokens(v.Left, out)
+		*out = append(*out, v.Op)
+		// Right side columns contribute (join predicates); literals do not.
+		if _, ok := v.Right.(sqlparse.Literal); !ok {
+			collectTokens(v.Right, out)
+		}
+	case *sqlparse.NotExpr:
+		collectTokens(v.Inner, out)
+	case *sqlparse.InExpr:
+		*out = append(*out, strings.ToLower(v.Col.Column), "in")
+	case *sqlparse.BetweenExpr:
+		*out = append(*out, strings.ToLower(v.Col.Column), "between")
+	case *sqlparse.LikeExpr:
+		*out = append(*out, strings.ToLower(v.Col.Column), "like")
+	case *sqlparse.IsNullExpr:
+		*out = append(*out, strings.ToLower(v.Col.Column), "isnull")
+	}
+}
+
+// PlanTokens gathers the value-stripped tokens of every predicate in a
+// logical plan — one Word2Vec "sentence" per query, as §4.2 trains over.
+func PlanTokens(plan *logicalplan.Node) []string {
+	var out []string
+	plan.Walk(func(n *logicalplan.Node) {
+		if n.Pred != nil {
+			out = append(out, PredTokens(n.Pred)...)
+		}
+	})
+	return out
+}
+
+// Corpus builds the Word2Vec training corpus from a set of plans.
+func Corpus(plans []*logicalplan.Node) [][]string {
+	corpus := make([][]string, 0, len(plans))
+	for _, p := range plans {
+		if toks := PlanTokens(p); len(toks) > 0 {
+			corpus = append(corpus, toks)
+		}
+	}
+	return corpus
+}
+
+// PredClause is a leaf of the conjunction tree: one atomic condition.
+type PredClause struct {
+	Tokens []string
+}
+
+// ConjTree is the predicate conjunction tree of §4.2: internal nodes are
+// AND/OR connectives, leaves are single clauses. AND children are combined
+// by MIN pooling, OR children by MAX pooling.
+type ConjTree struct {
+	Conj     string // "AND", "OR", or "" for a leaf
+	Clause   *PredClause
+	Children []*ConjTree
+}
+
+// BuildConjTree converts a predicate expression into its conjunction tree.
+func BuildConjTree(e sqlparse.Expr) *ConjTree {
+	switch v := e.(type) {
+	case *sqlparse.BinaryExpr:
+		if v.Op == "AND" || v.Op == "OR" {
+			left := BuildConjTree(v.Left)
+			right := BuildConjTree(v.Right)
+			// Flatten same-connective chains into one n-ary node.
+			node := &ConjTree{Conj: v.Op}
+			for _, c := range []*ConjTree{left, right} {
+				if c.Conj == v.Op {
+					node.Children = append(node.Children, c.Children...)
+				} else {
+					node.Children = append(node.Children, c)
+				}
+			}
+			return node
+		}
+	case *sqlparse.NotExpr:
+		// NOT distributes over the inner clause tokens; keep the structure.
+		return BuildConjTree(v.Inner)
+	}
+	return &ConjTree{Clause: &PredClause{Tokens: PredTokens(e)}}
+}
+
+// Leaves returns the clause leaves of the tree in order.
+func (t *ConjTree) Leaves() []*PredClause {
+	if t.Clause != nil {
+		return []*PredClause{t.Clause}
+	}
+	var out []*PredClause
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}

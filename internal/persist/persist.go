@@ -1,0 +1,105 @@
+// Package persist serialises trained pipelines and model weights so that a
+// model trained by the daily-retraining job can be shipped to the inference
+// service of Fig 1 without retraining. The format is a small versioned gob
+// envelope: pipeline (Word2Vec vectors + table universe) and a weight bundle
+// keyed by position with shape validation on load.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"prestroid/internal/nn"
+	"prestroid/internal/tensor"
+)
+
+// formatVersion guards against loading bundles written by incompatible
+// versions of the library.
+const formatVersion = 1
+
+// weightBundle is the on-disk weight representation. State tensors
+// (batch-norm running statistics) travel alongside the weights so inference
+// after load is bit-identical to the trained model.
+type weightBundle struct {
+	Version int
+	Names   []string
+	Shapes  [][]int
+	Data    [][]float64
+	State   [][]float64
+}
+
+// WeightStore is implemented by every model (Weights()), exposing its
+// trainable parameters in a stable order.
+type WeightStore interface {
+	Weights() []*nn.Param
+}
+
+// StateStore is optionally implemented by models whose layers carry
+// non-trainable state (batch-norm running statistics).
+type StateStore interface {
+	StateTensors() []*tensor.Tensor
+}
+
+// SaveWeights writes the model's parameters (and layer state, if any) to w.
+func SaveWeights(w io.Writer, m WeightStore) error {
+	params := m.Weights()
+	b := weightBundle{Version: formatVersion}
+	for _, p := range params {
+		b.Names = append(b.Names, p.Name)
+		shape := append([]int(nil), p.W.Shape...)
+		b.Shapes = append(b.Shapes, shape)
+		b.Data = append(b.Data, append([]float64(nil), p.W.Data...))
+	}
+	if ss, ok := m.(StateStore); ok {
+		for _, st := range ss.StateTensors() {
+			b.State = append(b.State, append([]float64(nil), st.Data...))
+		}
+	}
+	return gob.NewEncoder(w).Encode(&b)
+}
+
+// LoadWeights reads parameters and layer state from r into the model, which
+// must have been constructed with the same architecture (same parameter
+// order and shapes).
+func LoadWeights(r io.Reader, m WeightStore) error {
+	var b weightBundle
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return fmt.Errorf("persist: decode: %w", err)
+	}
+	if b.Version != formatVersion {
+		return fmt.Errorf("persist: unsupported format version %d", b.Version)
+	}
+	params := m.Weights()
+	if len(params) != len(b.Data) {
+		return fmt.Errorf("persist: bundle has %d tensors, model has %d", len(b.Data), len(params))
+	}
+	for i, p := range params {
+		if len(b.Shapes[i]) != len(p.W.Shape) {
+			return fmt.Errorf("persist: tensor %d (%s) rank mismatch", i, b.Names[i])
+		}
+		for d := range p.W.Shape {
+			if b.Shapes[i][d] != p.W.Shape[d] {
+				return fmt.Errorf("persist: tensor %d (%s) shape %v, model wants %v",
+					i, b.Names[i], b.Shapes[i], p.W.Shape)
+			}
+		}
+		if len(b.Data[i]) != len(p.W.Data) {
+			return fmt.Errorf("persist: tensor %d (%s) size mismatch", i, b.Names[i])
+		}
+		copy(p.W.Data, b.Data[i])
+	}
+	if ss, ok := m.(StateStore); ok {
+		state := ss.StateTensors()
+		if len(state) != len(b.State) {
+			return fmt.Errorf("persist: bundle has %d state tensors, model has %d", len(b.State), len(state))
+		}
+		for i, st := range state {
+			if len(b.State[i]) != len(st.Data) {
+				return fmt.Errorf("persist: state tensor %d size mismatch", i)
+			}
+			copy(st.Data, b.State[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/tensor"
+	"prestroid/internal/workload"
+)
+
+func fixture(t *testing.T) (dataset.Split, workload.Normalizer, *models.Pipeline) {
+	t.Helper()
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 120
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 1)
+	pcfg := models.DefaultPipelineConfig(8)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+	return split, workload.FitNormalizer(split.Train), pipe
+}
+
+func newModel(pipe *models.Pipeline, seed uint64) *models.Prestroid {
+	cfg := models.DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{8, 8}
+	cfg.DenseWidths = []int{8}
+	cfg.Seed = seed
+	return models.NewPrestroid(cfg, pipe)
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	split, norm, pipe := fixture(t)
+	src := newModel(pipe, 1)
+	src.Prepare(split.Train[:32])
+
+	// Train a little so weights are non-trivial.
+	labels := dataset.Labels(split.Train[:32], norm)
+	for i := 0; i < 5; i++ {
+		src.TrainBatch(split.Train[:32], labels)
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Different seed → different init; loading must overwrite it fully.
+	dst := newModel(pipe, 99)
+	dst.Prepare(split.Train[:32])
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	a := src.Predict(split.Train[:8])
+	b := dst.Predict(split.Train[:8])
+	if !tensor.Equal(a, b, 1e-12) {
+		t.Fatalf("loaded model predicts differently:\n%v\n%v", a, b)
+	}
+}
+
+func TestLoadWeightsShapeMismatch(t *testing.T) {
+	split, _, pipe := fixture(t)
+	src := newModel(pipe, 1)
+	src.Prepare(split.Train[:8])
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// A model with different widths must refuse the bundle.
+	cfg := models.DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{16, 16}
+	cfg.DenseWidths = []int{8}
+	other := models.NewPrestroid(cfg, pipe)
+	if err := LoadWeights(&buf, other); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadWeightsGarbage(t *testing.T) {
+	_, _, pipe := fixture(t)
+	m := newModel(pipe, 1)
+	if err := LoadWeights(bytes.NewBufferString("not a gob stream"), m); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestPipelineRoundTrip(t *testing.T) {
+	split, _, pipe := fixture(t)
+	var buf bytes.Buffer
+	if err := SavePipeline(&buf, pipe); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Enc.FeatureDim() != pipe.Enc.FeatureDim() {
+		t.Fatalf("feature dim %d != %d", restored.Enc.FeatureDim(), pipe.Enc.FeatureDim())
+	}
+	// Identical models over both pipelines must produce identical encodings,
+	// hence identical predictions.
+	a := newModel(pipe, 5)
+	b := newModel(restored, 5)
+	a.Prepare(split.Test)
+	b.Prepare(split.Test)
+	pa := a.Predict(split.Test)
+	pb := b.Predict(split.Test)
+	if !tensor.Equal(pa, pb, 1e-12) {
+		t.Fatal("restored pipeline encodes differently")
+	}
+}
+
+func TestPipelineRoundTripPreservesFlags(t *testing.T) {
+	_, _, pipe := fixture(t)
+	pipe.Enc.MeanPooling = true
+	pipe.Enc.HashedPredicates = true
+	var buf bytes.Buffer
+	if err := SavePipeline(&buf, pipe); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Enc.MeanPooling || !restored.Enc.HashedPredicates {
+		t.Fatal("encoder flags lost in round trip")
+	}
+}
+
+func TestFullModelShipment(t *testing.T) {
+	// The deployment story: train, save pipeline+weights, load both in a
+	// fresh process and serve identical predictions.
+	split, norm, pipe := fixture(t)
+	src := newModel(pipe, 1)
+	src.Prepare(split.Train)
+	labels := dataset.Labels(split.Train[:32], norm)
+	for i := 0; i < 3; i++ {
+		src.TrainBatch(split.Train[:32], labels)
+	}
+
+	var pipeBuf, weightBuf bytes.Buffer
+	if err := SavePipeline(&pipeBuf, pipe); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(&weightBuf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Fresh process".
+	restoredPipe, err := LoadPipeline(&pipeBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := newModel(restoredPipe, 42)
+	if err := LoadWeights(&weightBuf, served); err != nil {
+		t.Fatal(err)
+	}
+	served.Prepare(split.Test[:4])
+	want := src.Predict(split.Test[:4])
+	got := served.Predict(split.Test[:4])
+	if !tensor.Equal(want, got, 1e-12) {
+		t.Fatal("shipped model diverges from trained model")
+	}
+}

@@ -1,0 +1,56 @@
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"prestroid/internal/models"
+	"prestroid/internal/otp"
+	"prestroid/internal/word2vec"
+)
+
+// pipelineBundle is the on-disk pipeline representation.
+type pipelineBundle struct {
+	Version          int
+	W2V              *word2vec.Snapshot
+	Tables           []string
+	MeanPooling      bool
+	HashedPredicates bool
+}
+
+// SavePipeline writes the shared feature pipeline (Word2Vec vectors, table
+// universe, encoder flags) to w.
+func SavePipeline(w io.Writer, p *models.Pipeline) error {
+	tables := make([]string, 0, len(p.Enc.TableIndex))
+	for t := range p.Enc.TableIndex {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	b := pipelineBundle{
+		Version:          formatVersion,
+		W2V:              p.W2V.Snapshot(),
+		Tables:           tables,
+		MeanPooling:      p.Enc.MeanPooling,
+		HashedPredicates: p.Enc.HashedPredicates,
+	}
+	return gob.NewEncoder(w).Encode(&b)
+}
+
+// LoadPipeline reconstructs a pipeline from r. The restored pipeline encodes
+// queries identically to the one saved; its Word2Vec model is frozen.
+func LoadPipeline(r io.Reader) (*models.Pipeline, error) {
+	var b pipelineBundle
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("persist: decode pipeline: %w", err)
+	}
+	if b.Version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported pipeline version %d", b.Version)
+	}
+	w2v := word2vec.FromSnapshot(b.W2V)
+	enc := otp.NewEncoder(b.Tables, w2v)
+	enc.MeanPooling = b.MeanPooling
+	enc.HashedPredicates = b.HashedPredicates
+	return &models.Pipeline{W2V: w2v, Enc: enc}, nil
+}

@@ -1,0 +1,204 @@
+// Package serve implements the deployment side of Fig 1: an HTTP service
+// that parses incoming SQL, runs it through the trained pipeline and model,
+// and returns the predicted resource demand that the platform uses to
+// provision cluster capacity before the query executes.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/models"
+	"prestroid/internal/workload"
+)
+
+// Predictor bundles everything needed to cost one query: the trained model,
+// its feature pipeline and the label normaliser fit on training data.
+type Predictor struct {
+	Model models.Model
+	Pipe  *models.Pipeline
+	Norm  workload.Normalizer
+
+	mu sync.Mutex // models are not safe for concurrent Train/Predict
+}
+
+// evicter is implemented by models that support dropping per-trace caches.
+type evicter interface {
+	Evict(traces []*workload.Trace)
+}
+
+// Prediction is the costing result for one query.
+type Prediction struct {
+	CPUMinutes float64 `json:"cpu_minutes"`
+	Normalized float64 `json:"normalized"`
+	PlanNodes  int     `json:"plan_nodes"`
+	PlanDepth  int     `json:"plan_depth"`
+	Tables     int     `json:"tables"`
+}
+
+// PredictSQL parses, plans, encodes and costs a single query.
+func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
+	plan, err := logicalplan.PlanSQL(sql)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("parse: %w", err)
+	}
+	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Model.Prepare([]*workload.Trace{tr})
+	out := p.Model.Predict([]*workload.Trace{tr})
+	if ev, ok := p.Model.(evicter); ok {
+		ev.Evict([]*workload.Trace{tr})
+	}
+	y := out.Data[0]
+	return Prediction{
+		CPUMinutes: p.Norm.Denormalize(y),
+		Normalized: y,
+		PlanNodes:  plan.NodeCount(),
+		PlanDepth:  plan.MaxDepth(),
+		Tables:     len(plan.Tables()),
+	}, nil
+}
+
+// Stats are the service counters exposed at /v1/stats.
+type Stats struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	TotalMillis int64   `json:"total_millis"`
+	AvgMillis   float64 `json:"avg_millis"`
+	ModelName   string  `json:"model"`
+	Params      int     `json:"parameters"`
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	pred *Predictor
+	mux  *http.ServeMux
+
+	requests int64
+	errors   int64
+	millis   int64
+}
+
+// NewServer wires the routes.
+func NewServer(pred *Predictor) *Server {
+	s := &Server{pred: pred, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// predictRequest is the JSON body of /v1/predict and /v1/explain.
+type predictRequest struct {
+	SQL string `json:"sql"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func decodeSQL(r *http.Request) (string, error) {
+	if r.Method != http.MethodPost {
+		return "", errors.New("method not allowed: use POST")
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return "", fmt.Errorf("bad request body: %w", err)
+	}
+	if req.SQL == "" {
+		return "", errors.New("missing field: sql")
+	}
+	return req.SQL, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	atomic.AddInt64(&s.requests, 1)
+	sql, err := decodeSQL(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	pred, err := s.pred.PredictSQL(sql)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	atomic.AddInt64(&s.millis, time.Since(start).Milliseconds())
+	writeJSON(w, http.StatusOK, pred)
+}
+
+// explainResponse carries the plan views of /v1/explain.
+type explainResponse struct {
+	Plan      string   `json:"plan"`
+	PlanNodes int      `json:"plan_nodes"`
+	PlanDepth int      `json:"plan_depth"`
+	Tables    []string `json:"tables"`
+	Preds     []string `json:"predicates"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.requests, 1)
+	sql, err := decodeSQL(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := logicalplan.PlanSQL(sql)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Plan:      plan.Explain(),
+		PlanNodes: plan.NodeCount(),
+		PlanDepth: plan.MaxDepth(),
+		Tables:    plan.Tables(),
+		Preds:     plan.Predicates(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	req := atomic.LoadInt64(&s.requests)
+	ms := atomic.LoadInt64(&s.millis)
+	st := Stats{
+		Requests:    req,
+		Errors:      atomic.LoadInt64(&s.errors),
+		TotalMillis: ms,
+		ModelName:   s.pred.Model.Name(),
+		Params:      s.pred.Model.ParamCount(),
+	}
+	if req > 0 {
+		st.AvgMillis = float64(ms) / float64(req)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	atomic.AddInt64(&s.errors, 1)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *Predictor) {
+	t.Helper()
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 120
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 1)
+	norm := workload.FitNormalizer(split.Train)
+	pcfg := models.DefaultPipelineConfig(8)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+	mcfg := models.DefaultPrestroidConfig(15, 5)
+	mcfg.ConvWidths = []int{8}
+	mcfg.DenseWidths = []int{8}
+	m := models.NewPrestroid(mcfg, pipe)
+	m.Prepare(split.Train[:32])
+	labels := dataset.Labels(split.Train[:32], norm)
+	for i := 0; i < 3; i++ {
+		m.TrainBatch(split.Train[:32], labels)
+	}
+	pred := &Predictor{Model: m, Pipe: pipe, Norm: norm}
+	return NewServer(pred), pred
+}
+
+func post(t *testing.T, srv *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+	var p Prediction
+	if err := json.Unmarshal(w.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUMinutes <= 0 {
+		t.Fatalf("cpu_minutes = %v", p.CPUMinutes)
+	}
+	if p.Normalized < 0 || p.Normalized > 1 {
+		t.Fatalf("normalized = %v", p.Normalized)
+	}
+	if p.PlanNodes == 0 || p.Tables != 1 {
+		t.Fatalf("plan stats = %+v", p)
+	}
+}
+
+func TestPredictBadSQL(t *testing.T) {
+	srv, _ := newTestServer(t)
+	w := post(t, srv, "/v1/predict", `{"sql":"NOT EVEN SQL"}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad sql = %d", w.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestPredictBadBody(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if w := post(t, srv, "/v1/predict", `{"sql":`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", w.Code)
+	}
+	if w := post(t, srv, "/v1/predict", `{}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty sql = %d", w.Code)
+	}
+	// GET is rejected.
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("GET predict = %d", w.Code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	w := post(t, srv, "/v1/explain", `{"sql":"SELECT a FROM t JOIN u ON t.id = u.id WHERE t.a > 5"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain = %d: %s", w.Code, w.Body)
+	}
+	var e explainResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.PlanNodes == 0 || len(e.Tables) != 2 || len(e.Preds) == 0 {
+		t.Fatalf("explain response = %+v", e)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`)
+	post(t, srv, "/v1/predict", `{"sql":"garbage"}`)
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ModelName == "" || st.Params == 0 {
+		t.Fatalf("model metadata missing: %+v", st)
+	}
+}
+
+func TestConcurrentPredictions(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5 AND b < 3"}`)
+			if w.Code != http.StatusOK {
+				t.Errorf("concurrent predict = %d", w.Code)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPredictorEvictsCache(t *testing.T) {
+	_, pred := newTestServer(t)
+	// Many one-off predictions must not grow the model cache.
+	for i := 0; i < 50; i++ {
+		if _, err := pred.PredictSQL("SELECT a FROM t WHERE a > 5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The Prestroid cache is private; rely on Evict being exercised — a
+	// regression here would show as unbounded growth under profiling. As a
+	// proxy, predict deterministically returns the same value every time,
+	// proving the per-request trace is independent of cache state.
+	a, _ := pred.PredictSQL("SELECT a FROM t WHERE a > 5")
+	b, _ := pred.PredictSQL("SELECT a FROM t WHERE a > 5")
+	if a != b {
+		t.Fatalf("predictions unstable: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,184 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is a parsed SELECT query, possibly with UNION ALL branches.
+type SelectStmt struct {
+	Distinct bool
+	Columns  []SelectItem
+	From     TableExpr
+	Where    Expr // nil when absent
+	GroupBy  []ColumnRef
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int         // -1 when absent
+	Union    *SelectStmt // UNION ALL continuation, nil when absent
+}
+
+// SelectItem is one projected column, aggregate or star.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// TableExpr is a FROM-clause production: a base table, a join, or a derived
+// table (subquery).
+type TableExpr interface{ tableExpr() }
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinExpr combines two table expressions with a join condition.
+type JoinExpr struct {
+	Kind  string // INNER, LEFT, RIGHT, FULL, CROSS
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for CROSS
+}
+
+// SubqueryRef is a derived table: (SELECT ...) alias.
+type SubqueryRef struct {
+	Query *SelectStmt
+	Alias string
+}
+
+func (*TableRef) tableExpr()    {}
+func (*JoinExpr) tableExpr()    {}
+func (*SubqueryRef) tableExpr() {}
+
+// Expr is a scalar or boolean expression.
+type Expr interface{ exprNode() }
+
+// ColumnRef references table.column or a bare column.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// Literal is a numeric or string constant.
+type Literal struct {
+	Value    string
+	IsString bool
+}
+
+// BinaryExpr is a comparison or boolean connective (=, <, AND, OR, ...).
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ Inner Expr }
+
+// InExpr tests membership: col IN (v1, v2, ...).
+type InExpr struct {
+	Col    ColumnRef
+	Values []Literal
+	Negate bool
+}
+
+// BetweenExpr tests a range: col BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Col    ColumnRef
+	Lo, Hi Literal
+}
+
+// LikeExpr tests a pattern: col LIKE 'pat'.
+type LikeExpr struct {
+	Col     ColumnRef
+	Pattern string
+	Negate  bool
+}
+
+// IsNullExpr tests col IS [NOT] NULL.
+type IsNullExpr struct {
+	Col    ColumnRef
+	Negate bool
+}
+
+// FuncExpr is an aggregate call such as COUNT(*) or SUM(col).
+type FuncExpr struct {
+	Name string // upper-cased
+	Star bool
+	Arg  *ColumnRef
+}
+
+func (ColumnRef) exprNode()    {}
+func (Literal) exprNode()      {}
+func (*BinaryExpr) exprNode()  {}
+func (*NotExpr) exprNode()     {}
+func (*InExpr) exprNode()      {}
+func (*BetweenExpr) exprNode() {}
+func (*LikeExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()  {}
+func (*FuncExpr) exprNode()    {}
+
+// String renders the column as table.column or column.
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// ExprString renders an expression back to SQL-ish text, used by the O-T-P
+// encoder to obtain predicate token streams.
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case ColumnRef:
+		return v.String()
+	case Literal:
+		if v.IsString {
+			return "'" + v.Value + "'"
+		}
+		return v.Value
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(v.Left), v.Op, ExprString(v.Right))
+	case *NotExpr:
+		return "NOT (" + ExprString(v.Inner) + ")"
+	case *InExpr:
+		vals := make([]string, len(v.Values))
+		for i, lit := range v.Values {
+			vals[i] = ExprString(lit)
+		}
+		neg := ""
+		if v.Negate {
+			neg = "NOT "
+		}
+		return fmt.Sprintf("%s %sIN (%s)", v.Col, neg, strings.Join(vals, ", "))
+	case *BetweenExpr:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", v.Col, ExprString(v.Lo), ExprString(v.Hi))
+	case *LikeExpr:
+		neg := ""
+		if v.Negate {
+			neg = "NOT "
+		}
+		return fmt.Sprintf("%s %sLIKE '%s'", v.Col, neg, v.Pattern)
+	case *IsNullExpr:
+		if v.Negate {
+			return v.Col.String() + " IS NOT NULL"
+		}
+		return v.Col.String() + " IS NULL"
+	case *FuncExpr:
+		if v.Star {
+			return v.Name + "(*)"
+		}
+		return v.Name + "(" + v.Arg.String() + ")"
+	default:
+		return fmt.Sprintf("<?%T>", e)
+	}
+}

@@ -1,0 +1,199 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL subset appearing in the reproduced query workloads: SELECT queries
+// with joins, WHERE conjunction trees, grouping, ordering, limits, UNION ALL
+// and derived tables. Parsed queries are lowered to logical plans by
+// internal/logicalplan, mirroring the paper's "EXPLAIN <text>" extraction
+// step that obtains a plan without executing the query.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // comparison and arithmetic operators
+	TokComma
+	TokLParen
+	TokRParen
+	TokDot
+	TokStar
+)
+
+// Token is a single lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true, "CROSS": true,
+	"ON": true, "AND": true, "OR": true, "NOT": true, "GROUP": true,
+	"BY": true, "ORDER": true, "HAVING": true, "LIMIT": true, "AS": true,
+	"UNION": true, "ALL": true, "DISTINCT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "ASC": true, "DESC": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or a TokEOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '.':
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case c == '*':
+		l.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case isDigit(c):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	case strings.ContainsRune("<>=!+-/%", rune(c)):
+		return l.lexOp()
+	default:
+		return Token{}, fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+	}
+}
+
+// Tokenize lexes the whole input eagerly.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *Lexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// Doubled quote is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sqlparse: unterminated string at %d", start)
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+		} else if c == '.' && !seenDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			seenDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexIdent() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		return Token{Kind: TokKeyword, Text: strings.ToUpper(text), Pos: start}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+}
+
+func (l *Lexer) lexOp() (Token, error) {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos++
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,147 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prestroid/internal/tensor"
+)
+
+// randExpr builds a random boolean expression of bounded depth.
+func randExpr(rng *tensor.RNG, depth int) string {
+	if depth <= 0 || rng.Float64() < 0.4 {
+		col := fmt.Sprintf("c%d", rng.Intn(8))
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%s = %d", col, rng.Intn(100))
+		case 1:
+			return fmt.Sprintf("%s > %d", col, rng.Intn(100))
+		case 2:
+			return fmt.Sprintf("%s IN (%d, %d)", col, rng.Intn(10), rng.Intn(10))
+		case 3:
+			return fmt.Sprintf("%s BETWEEN %d AND %d", col, rng.Intn(10), 10+rng.Intn(10))
+		case 4:
+			return fmt.Sprintf("%s LIKE 'p%d%%'", col, rng.Intn(10))
+		default:
+			return col + " IS NOT NULL"
+		}
+	}
+	conj := "AND"
+	if rng.Float64() < 0.5 {
+		conj = "OR"
+	}
+	left := randExpr(rng, depth-1)
+	right := randExpr(rng, depth-1)
+	if rng.Float64() < 0.3 {
+		return fmt.Sprintf("(%s) %s (%s)", left, conj, right)
+	}
+	return fmt.Sprintf("%s %s %s", left, conj, right)
+}
+
+// randQuery builds a random parseable SELECT.
+func randQuery(rng *tensor.RNG) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if rng.Float64() < 0.3 {
+		b.WriteString("*")
+	} else {
+		n := 1 + rng.Intn(3)
+		cols := make([]string, n)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", rng.Intn(8))
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	fmt.Fprintf(&b, " FROM t%d a", rng.Intn(5))
+	joins := rng.Intn(3)
+	for j := 0; j < joins; j++ {
+		fmt.Fprintf(&b, " JOIN t%d j%d ON a.id = j%d.id", rng.Intn(5), j, j)
+	}
+	if rng.Float64() < 0.8 {
+		b.WriteString(" WHERE ")
+		b.WriteString(randExpr(rng, 1+rng.Intn(3)))
+	}
+	if rng.Float64() < 0.3 {
+		fmt.Fprintf(&b, " GROUP BY c%d", rng.Intn(8))
+	}
+	if rng.Float64() < 0.3 {
+		fmt.Fprintf(&b, " ORDER BY c%d DESC", rng.Intn(8))
+	}
+	if rng.Float64() < 0.3 {
+		fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(100))
+	}
+	return b.String()
+}
+
+// TestRandomQueriesParse checks that the generator's grammar is fully inside
+// the parser's grammar — a cheap fuzz for panics and spurious rejections.
+func TestRandomQueriesParse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		src := randQuery(rng)
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Logf("rejected: %s: %v", src, err)
+			return false
+		}
+		return stmt != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExprStringFixpoint checks that rendering a parsed WHERE clause and
+// reparsing it yields the same rendering — ExprString is a fixpoint under
+// parse∘render, so downstream consumers (Word2Vec corpus, distinct-predicate
+// counting) see canonical text.
+func TestExprStringFixpoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		src := "SELECT * FROM t WHERE " + randExpr(rng, 3)
+		stmt, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		rendered := ExprString(stmt.Where)
+		stmt2, err := Parse("SELECT * FROM t WHERE " + rendered)
+		if err != nil {
+			t.Logf("re-parse failed for %q: %v", rendered, err)
+			return false
+		}
+		return ExprString(stmt2.Where) == rendered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics feeds mangled fragments of valid queries; the parser
+// must return errors, not panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	for i := 0; i < 500; i++ {
+		src := randQuery(rng)
+		// Mangle: truncate, duplicate a fragment, or inject noise.
+		switch rng.Intn(3) {
+		case 0:
+			src = src[:rng.Intn(len(src)+1)]
+		case 1:
+			cut := rng.Intn(len(src) + 1)
+			src = src[:cut] + " SELECT WHERE )) " + src[cut:]
+		default:
+			cut := rng.Intn(len(src) + 1)
+			src = src[cut:] + src[:cut]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			Parse(src) //nolint:errcheck // errors are expected here
+		}()
+	}
+}

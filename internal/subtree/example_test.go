@@ -1,0 +1,31 @@
+package subtree_test
+
+import (
+	"fmt"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/otp"
+	"prestroid/internal/subtree"
+)
+
+// ExampleSample decomposes a query's O-T-P tree with Algorithm 1 and shows
+// the vote masks: boundary nodes (incomplete receptive fields) vote 0.
+func ExampleSample() {
+	plan, err := logicalplan.PlanSQL(
+		"SELECT a FROM t JOIN u ON t.id = u.id WHERE t.a > 5 ORDER BY a LIMIT 3")
+	if err != nil {
+		panic(err)
+	}
+	root := otp.Recast(plan)
+	samples, err := subtree.Sample(root, subtree.Config{N: 15, C: 2})
+	if err != nil {
+		panic(err)
+	}
+	for i, st := range samples {
+		fmt.Printf("sub-tree %d: %d nodes, %d voting\n", i, len(st.Nodes), st.VoteCount())
+	}
+	// Output:
+	// sub-tree 0: 15 nodes, 9 voting
+	// sub-tree 1: 5 nodes, 5 voting
+	// sub-tree 2: 5 nodes, 5 voting
+}

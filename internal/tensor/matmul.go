@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelFlopThreshold is the m*k*n product above which MatMulInto shards
+// rows across goroutines. Small products stay serial: goroutine dispatch
+// costs more than the multiply.
+const parallelFlopThreshold = 1 << 18
+
+// MatMul returns a × b for 2-D tensors of shapes (m,k) and (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's buffer. out must have shape
+// (a.rows, b.cols). The inner loop is ordered i-k-j for cache locality;
+// large products are sharded row-wise across goroutines (each output row is
+// written by exactly one worker, so no synchronisation is needed).
+func MatMulInto(out, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants 2-d operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	workers := 1
+	if m*k*n >= parallelFlopThreshold {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > m {
+			workers = m
+		}
+	}
+	if workers <= 1 {
+		matMulRows(out, a, b, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (m + workers - 1) / workers
+	for start := 0; start < m; start += per {
+		end := start + per
+		if end > m {
+			end = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes output rows [lo, hi).
+func matMulRows(out, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes aᵀ × b for a of shape (k,m) and b of shape (k,n),
+// yielding (m,n). Used for weight gradients without materialising aᵀ.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA dim mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a × bᵀ for a of shape (m,k) and b of shape (n,k),
+// yielding (m,n). Used for input gradients without materialising bᵀ.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB dim mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose on %d-d tensor", len(a.Shape)))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v (length n) to every row of a 2-D tensor (m,n).
+func AddRowVector(a, v *Tensor) *Tensor {
+	m, n := a.Shape[0], a.Shape[1]
+	if v.Size() != n {
+		panic(fmt.Sprintf("tensor: AddRowVector dim mismatch %v + %v", a.Shape, v.Shape))
+	}
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += v.Data[j]
+		}
+	}
+	return a
+}
+
+// SumRows returns the column-wise sum of a 2-D tensor: out[j] = Σ_i a[i][j].
+func SumRows(a *Tensor) *Tensor {
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			out.Data[j] += row[j]
+		}
+	}
+	return out
+}
+
+// Dot returns the dot product of two equal-length 1-D views.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

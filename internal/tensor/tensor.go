@@ -1,0 +1,303 @@
+// Package tensor implements dense numeric tensors and the linear-algebra
+// kernels used by the neural-network engine. Tensors are row-major float64
+// buffers with an explicit shape; all operations are deterministic and
+// allocation behaviour is documented so that per-batch memory footprints can
+// be accounted exactly (the paper's Fig 6 metric).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major n-dimensional array of float64.
+//
+// The zero value is an empty tensor. Tensors returned by New are fully
+// initialised; Data aliases the underlying buffer, so callers that need an
+// independent copy must use Clone.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is aliased,
+// not copied. It panics if the element count does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the in-memory size of the tensor payload in bytes
+// (8 bytes per float64). Used for per-batch footprint accounting.
+func (t *Tensor) Bytes() int { return 8 * t.Size() }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same data.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != t.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Apply replaces each element x with f(x) in place and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, x := range t.Data {
+		t.Data[i] = f(x)
+	}
+	return t
+}
+
+// Map returns a new tensor whose elements are f applied to t's elements.
+func (t *Tensor) Map(f func(float64) float64) *Tensor {
+	c := New(t.Shape...)
+	for i, x := range t.Data {
+		c.Data[i] = f(x)
+	}
+	return c
+}
+
+// AddInPlace adds o element-wise into t. Shapes must match exactly.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	if t.Size() != o.Size() {
+		panic(fmt.Sprintf("tensor: add size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+	return t
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	if t.Size() != o.Size() {
+		panic(fmt.Sprintf("tensor: sub size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] -= o.Data[i]
+	}
+	return t
+}
+
+// MulInPlace multiplies t by o element-wise (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	if t.Size() != o.Size() {
+		panic(fmt.Sprintf("tensor: mul size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] *= o.Data[i]
+	}
+	return t
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// AxpyInPlace performs t += alpha*o.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
+	if t.Size() != o.Size() {
+		panic(fmt.Sprintf("tensor: axpy size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * o.Data[i]
+	}
+	return t
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) *Tensor { return t.Clone().AddInPlace(o) }
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
+
+// Mul returns the element-wise product as a new tensor.
+func Mul(t, o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, x := range t.Data {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	return t.Sum() / float64(t.Size())
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if t.Size() == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, x := range t.Data[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if t.Size() == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, x := range t.Data[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Norm2 returns the L2 norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, x := range t.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Row returns row i of a 2-D tensor as an aliased slice.
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row on %d-d tensor", len(t.Shape)))
+	}
+	cols := t.Shape[1]
+	return t.Data[i*cols : (i+1)*cols]
+}
+
+// String renders small tensors fully and large ones by shape summary.
+func (t *Tensor) String() string {
+	if t.Size() > 64 {
+		return fmt.Sprintf("Tensor%v{%d elems, |x|=%.4g}", t.Shape, t.Size(), t.Norm2())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.Shape)
+	for i, x := range t.Data {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Equal reports whether two tensors have identical shape and elements within
+// tolerance eps.
+func Equal(a, b *Tensor, eps float64) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}

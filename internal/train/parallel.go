@@ -1,0 +1,191 @@
+package train
+
+import (
+	"sync"
+	"time"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/nn"
+	"prestroid/internal/tensor"
+	"prestroid/internal/workload"
+)
+
+// replicaModel is the model surface data parallelism needs: weights and
+// layer state for synchronisation. All models in this repository satisfy it.
+type replicaModel interface {
+	models.Model
+	Weights() []*nn.Param
+	StateTensors() []*tensor.Tensor
+}
+
+// ParallelResult extends Result with data-parallel measurements: the wall
+// time spent synchronising replicas, the real-world analogue of the
+// parameter-server communication overhead App B.1 profiles on multi-GPU
+// clusters.
+type ParallelResult struct {
+	Result
+	Replicas  int
+	SyncTime  time.Duration // total time spent averaging weights
+	TrainTime time.Duration // total time replicas spent computing
+}
+
+// RunParallel trains with synchronous data parallelism over goroutine
+// replicas: every replica is built identically (same seed → identical
+// initialisation), each mini-batch is sharded evenly across replicas, the
+// replicas step concurrently, and weights plus batch-norm state are
+// averaged after every step. With equal shards this implements per-step
+// model averaging — the synchronous data-parallel scheme the paper's
+// TensorFlow setup distributes over GPUs.
+func RunParallel(build func() replicaModel, split dataset.Split, norm workload.Normalizer, cfg Config, replicas int) ParallelResult {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 30
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 5
+	}
+
+	reps := make([]replicaModel, replicas)
+	for i := range reps {
+		reps[i] = build()
+		reps[i].Prepare(split.Train)
+	}
+	reps[0].Prepare(split.Val)
+	reps[0].Prepare(split.Test)
+
+	pr := ParallelResult{Replicas: replicas}
+	pr.BestValMSE = inf()
+	rng := tensor.NewRNG(cfg.Seed)
+	bad := 0
+	var totalEpochTime time.Duration
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		epochStart := time.Now()
+		totalLoss, n := 0.0, 0
+		for _, batch := range dataset.Batches(split.Train, cfg.BatchSize, rng) {
+			shards := shard(batch, replicas)
+			losses := make([]float64, len(shards))
+			computeStart := time.Now()
+			var wg sync.WaitGroup
+			for i, sh := range shards {
+				wg.Add(1)
+				go func(i int, sh []*workload.Trace) {
+					defer wg.Done()
+					labels := dataset.Labels(sh, norm)
+					losses[i] = reps[i].TrainBatch(sh, labels)
+				}(i, sh)
+			}
+			wg.Wait()
+			pr.TrainTime += time.Since(computeStart)
+
+			syncStart := time.Now()
+			syncReplicas(reps[:len(shards)], reps)
+			pr.SyncTime += time.Since(syncStart)
+
+			for i := range shards {
+				totalLoss += losses[i] * float64(len(shards[i])) / float64(len(batch))
+			}
+			n++
+		}
+		totalEpochTime += time.Since(epochStart)
+		pr.EpochsRun = epoch
+		pr.TrainLosses = append(pr.TrainLosses, totalLoss/float64(n))
+
+		valMSE := models.MSE(reps[0], split.Val, norm)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, totalLoss/float64(n), valMSE)
+		}
+		if valMSE < pr.BestValMSE {
+			pr.BestValMSE = valMSE
+			pr.BestEpoch = epoch
+			pr.TestMSE = models.MSE(reps[0], split.Test, norm)
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if pr.EpochsRun > 0 {
+		pr.MeanEpochTime = totalEpochTime / time.Duration(pr.EpochsRun)
+	}
+	return pr
+}
+
+func inf() float64 { return 1e308 }
+
+// shard splits a batch into up to r similarly sized shards, dropping empty
+// ones (tiny tail batches may employ fewer replicas than configured).
+func shard(batch []*workload.Trace, r int) [][]*workload.Trace {
+	if r > len(batch) {
+		r = len(batch)
+	}
+	shards := make([][]*workload.Trace, 0, r)
+	per := (len(batch) + r - 1) / r
+	for start := 0; start < len(batch); start += per {
+		end := start + per
+		if end > len(batch) {
+			end = len(batch)
+		}
+		shards = append(shards, batch[start:end])
+	}
+	return shards
+}
+
+// syncReplicas averages the weights and state of the replicas that stepped
+// this round (active) and broadcasts the result to every replica.
+func syncReplicas(active []replicaModel, all []replicaModel) {
+	if len(active) <= 1 && len(all) <= 1 {
+		return
+	}
+	ref := all[0].Weights()
+	actWeights := make([][]*nn.Param, len(active))
+	for i, m := range active {
+		actWeights[i] = m.Weights()
+	}
+	for pi := range ref {
+		acc := ref[pi].W // reuse replica 0 weight buffer as accumulator
+		if len(active) > 1 {
+			for d := range acc.Data {
+				sum := 0.0
+				for _, ws := range actWeights {
+					sum += ws[pi].W.Data[d]
+				}
+				acc.Data[d] = sum / float64(len(active))
+			}
+		} else {
+			copy(acc.Data, actWeights[0][pi].W.Data)
+		}
+		for _, m := range all[1:] {
+			copy(m.Weights()[pi].W.Data, acc.Data)
+		}
+	}
+	refState := all[0].StateTensors()
+	actState := make([][]*tensor.Tensor, len(active))
+	for i, m := range active {
+		actState[i] = m.StateTensors()
+	}
+	for si := range refState {
+		acc := refState[si]
+		if len(active) > 1 {
+			for d := range acc.Data {
+				sum := 0.0
+				for _, st := range actState {
+					sum += st[si].Data[d]
+				}
+				acc.Data[d] = sum / float64(len(active))
+			}
+		} else {
+			copy(acc.Data, actState[0][si].Data)
+		}
+		for _, m := range all[1:] {
+			copy(m.StateTensors()[si].Data, acc.Data)
+		}
+	}
+}

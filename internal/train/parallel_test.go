@@ -1,0 +1,101 @@
+package train
+
+import (
+	"testing"
+
+	"prestroid/internal/models"
+)
+
+func TestRunParallelConverges(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 8
+	cfg.Patience = 8
+	pr := RunParallel(func() replicaModel {
+		return smallModel(pipe, 7).(*models.Prestroid)
+	}, split, norm, cfg, 2)
+	if pr.Replicas != 2 {
+		t.Fatalf("replicas = %d", pr.Replicas)
+	}
+	first := pr.TrainLosses[0]
+	last := pr.TrainLosses[len(pr.TrainLosses)-1]
+	if last >= first {
+		t.Fatalf("parallel training did not improve: %v -> %v", first, last)
+	}
+	if pr.SyncTime <= 0 || pr.TrainTime <= 0 {
+		t.Fatalf("timing not measured: sync=%v train=%v", pr.SyncTime, pr.TrainTime)
+	}
+}
+
+func TestRunParallelKeepsReplicasInSync(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 2
+	cfg.Patience = 2
+
+	reps := make([]replicaModel, 0, 3)
+	build := func() replicaModel {
+		m := smallModel(pipe, 9).(*models.Prestroid)
+		reps = append(reps, m)
+		return m
+	}
+	RunParallel(build, split, norm, cfg, 3)
+	if len(reps) != 3 {
+		t.Fatalf("built %d replicas", len(reps))
+	}
+	w0 := reps[0].Weights()
+	for r := 1; r < 3; r++ {
+		wr := reps[r].Weights()
+		for pi := range w0 {
+			for d := range w0[pi].W.Data {
+				if w0[pi].W.Data[d] != wr[pi].W.Data[d] {
+					t.Fatalf("replica %d weight %d diverged", r, pi)
+				}
+			}
+		}
+		s0, sr := reps[0].StateTensors(), reps[r].StateTensors()
+		for si := range s0 {
+			for d := range s0[si].Data {
+				if s0[si].Data[d] != sr[si].Data[d] {
+					t.Fatalf("replica %d state %d diverged", r, si)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelSingleReplicaMatchesShape(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 2
+	cfg.Patience = 2
+	pr := RunParallel(func() replicaModel {
+		return smallModel(pipe, 11).(*models.Prestroid)
+	}, split, norm, cfg, 1)
+	if pr.TestMSE <= 0 || pr.EpochsRun != 2 {
+		t.Fatalf("single-replica run broken: %+v", pr.Result)
+	}
+}
+
+func TestShardEvenness(t *testing.T) {
+	split, _, _ := setup(t)
+	batch := split.Train[:10]
+	shards := shard(batch, 3)
+	if len(shards) != 3 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+		if len(s) == 0 {
+			t.Fatal("empty shard")
+		}
+	}
+	if total != 10 {
+		t.Fatalf("sharded %d of 10", total)
+	}
+	// More replicas than samples: shard count capped.
+	if got := len(shard(batch[:2], 8)); got != 2 {
+		t.Fatalf("capped shards = %d", got)
+	}
+}

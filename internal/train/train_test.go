@@ -1,0 +1,130 @@
+package train
+
+import (
+	"testing"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/models"
+	"prestroid/internal/workload"
+)
+
+func setup(t *testing.T) (dataset.Split, workload.Normalizer, *models.Pipeline) {
+	t.Helper()
+	cfg := workload.DefaultGrabConfig()
+	cfg.Queries = 220
+	traces := workload.NewGrabGenerator(cfg).Generate()
+	split := dataset.SplitRandom(traces, 1)
+	pcfg := models.DefaultPipelineConfig(8)
+	pcfg.MinCount = 2
+	pipe := models.BuildPipeline(split.Train, pcfg)
+	return split, workload.FitNormalizer(split.Train), pipe
+}
+
+func smallModel(pipe *models.Pipeline, seed uint64) models.Model {
+	cfg := models.DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{12, 12}
+	cfg.DenseWidths = []int{12}
+	cfg.Seed = seed
+	return models.NewPrestroid(cfg, pipe)
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 8
+	cfg.Patience = 3
+	res := Run(smallModel(pipe, 1), split, norm, cfg)
+	if res.EpochsRun < 1 || res.EpochsRun > 8 {
+		t.Fatalf("epochs run = %d", res.EpochsRun)
+	}
+	if res.BestEpoch < 1 || res.BestEpoch > res.EpochsRun {
+		t.Fatalf("best epoch = %d of %d", res.BestEpoch, res.EpochsRun)
+	}
+	if res.TestMSE <= 0 || res.BestValMSE <= 0 {
+		t.Fatalf("MSEs = %v / %v", res.TestMSE, res.BestValMSE)
+	}
+	if res.MeanEpochTime <= 0 {
+		t.Fatal("epoch time not measured")
+	}
+	if len(res.TrainLosses) != res.EpochsRun {
+		t.Fatalf("loss history %d != epochs %d", len(res.TrainLosses), res.EpochsRun)
+	}
+}
+
+func TestTrainingImprovesOverFirstEpoch(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 10
+	cfg.Patience = 10
+	res := Run(smallModel(pipe, 2), split, norm, cfg)
+	first := res.TrainLosses[0]
+	last := res.TrainLosses[len(res.TrainLosses)-1]
+	if last >= first {
+		t.Fatalf("training loss did not improve: %v -> %v", first, last)
+	}
+}
+
+func TestEarlyStoppingTriggers(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 50
+	cfg.Patience = 2
+	res := Run(smallModel(pipe, 3), split, norm, cfg)
+	if res.EpochsRun == 50 {
+		t.Skip("no plateau within 50 epochs — acceptable but unusual")
+	}
+	// Stopped exactly Patience epochs after the best one.
+	if res.EpochsRun-res.BestEpoch != cfg.Patience {
+		t.Fatalf("stopped at %d with best %d, patience %d", res.EpochsRun, res.BestEpoch, cfg.Patience)
+	}
+}
+
+func TestOnEpochCallback(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 3
+	cfg.Patience = 3
+	calls := 0
+	cfg.OnEpoch = func(epoch int, trainLoss, valMSE float64) {
+		calls++
+		if trainLoss <= 0 || valMSE <= 0 {
+			t.Fatalf("bad callback values %v %v", trainLoss, valMSE)
+		}
+	}
+	Run(smallModel(pipe, 4), split, norm, cfg)
+	if calls != 3 {
+		t.Fatalf("callback fired %d times", calls)
+	}
+}
+
+func TestRunRoundsAggregates(t *testing.T) {
+	split, norm, pipe := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 4
+	cfg.Patience = 2
+	mr := RunRounds(func(seed uint64) models.Model {
+		return smallModel(pipe, seed)
+	}, split, norm, cfg, 3)
+	if len(mr.Runs) != 3 {
+		t.Fatalf("rounds = %d", len(mr.Runs))
+	}
+	if mr.BestMSE <= 0 {
+		t.Fatalf("BestMSE = %v", mr.BestMSE)
+	}
+	if mr.StdMSE < 0 {
+		t.Fatalf("StdMSE = %v", mr.StdMSE)
+	}
+	if mr.MaxEpoch < 1 {
+		t.Fatalf("MaxEpoch = %d", mr.MaxEpoch)
+	}
+	// Different seeds should produce different runs (std usually > 0).
+	same := true
+	for _, r := range mr.Runs[1:] {
+		if r.TestMSE != mr.Runs[0].TestMSE {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("all rounds identical despite different seeds")
+	}
+}

@@ -1,0 +1,201 @@
+package treecnn
+
+import (
+	"math"
+
+	"prestroid/internal/nn"
+	"prestroid/internal/tensor"
+)
+
+// ConvLayer is one tree convolution: for every node i with children l, r,
+//
+//	y_i = ReLU(Wt·x_i + Wl·x_l + Wr·x_r + b)
+//
+// with missing children contributing zero. The (Wt, Wl, Wr) triple is the
+// triangular kernel slid breadth-first across the tree.
+type ConvLayer struct {
+	In, Out int
+	Wt      *nn.Param
+	Wl      *nn.Param
+	Wr      *nn.Param
+	B       *nn.Param
+}
+
+// NewConvLayer returns a tree-convolution layer with Glorot initialisation.
+func NewConvLayer(in, out int, rng *tensor.RNG) *ConvLayer {
+	l := &ConvLayer{
+		In: in, Out: out,
+		Wt: nn.NewParam("tconv.wt", in, out),
+		Wl: nn.NewParam("tconv.wl", in, out),
+		Wr: nn.NewParam("tconv.wr", in, out),
+		B:  nn.NewParam("tconv.b", out),
+	}
+	rng.GlorotUniform(l.Wt.W, in, out)
+	rng.GlorotUniform(l.Wl.W, in, out)
+	rng.GlorotUniform(l.Wr.W, in, out)
+	return l
+}
+
+// Params returns the triangular kernel and bias.
+func (l *ConvLayer) Params() []*nn.Param { return []*nn.Param{l.Wt, l.Wl, l.Wr, l.B} }
+
+// layerState caches one forward pass for the matching backward pass.
+type layerState struct {
+	x      *tensor.Tensor // layer input (n, in)
+	xl, xr *tensor.Tensor // gathered child features (n, in)
+	mask   []bool         // ReLU mask over the (n, out) output
+}
+
+// forward computes the layer output and returns the cache needed to
+// backpropagate through this specific tree.
+func (l *ConvLayer) forward(tree *Tree, x *tensor.Tensor) (*tensor.Tensor, *layerState) {
+	n := tree.Len()
+	xl := tensor.New(n, l.In)
+	xr := tensor.New(n, l.In)
+	for i := 0; i < n; i++ {
+		if li := tree.Left[i]; li >= 0 {
+			copy(xl.Row(i), x.Row(li))
+		}
+		if ri := tree.Right[i]; ri >= 0 {
+			copy(xr.Row(i), x.Row(ri))
+		}
+	}
+	out := tensor.MatMul(x, l.Wt.W)
+	out.AddInPlace(tensor.MatMul(xl, l.Wl.W))
+	out.AddInPlace(tensor.MatMul(xr, l.Wr.W))
+	tensor.AddRowVector(out, l.B.W)
+
+	st := &layerState{x: x, xl: xl, xr: xr, mask: make([]bool, out.Size())}
+	for i, v := range out.Data {
+		if v > 0 {
+			st.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out, st
+}
+
+// backward accumulates parameter gradients and returns dL/dx, scattering
+// child-path gradients back to the child rows.
+func (l *ConvLayer) backward(tree *Tree, st *layerState, gradOut *tensor.Tensor) *tensor.Tensor {
+	gz := gradOut.Clone()
+	for i := range gz.Data {
+		if !st.mask[i] {
+			gz.Data[i] = 0
+		}
+	}
+	l.Wt.G.AddInPlace(tensor.MatMulTransA(st.x, gz))
+	l.Wl.G.AddInPlace(tensor.MatMulTransA(st.xl, gz))
+	l.Wr.G.AddInPlace(tensor.MatMulTransA(st.xr, gz))
+	l.B.G.AddInPlace(tensor.SumRows(gz))
+
+	gx := tensor.MatMulTransB(gz, l.Wt.W)
+	gl := tensor.MatMulTransB(gz, l.Wl.W)
+	gr := tensor.MatMulTransB(gz, l.Wr.W)
+	n := tree.Len()
+	for i := 0; i < n; i++ {
+		if li := tree.Left[i]; li >= 0 {
+			dst := gx.Row(li)
+			src := gl.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		if ri := tree.Right[i]; ri >= 0 {
+			dst := gx.Row(ri)
+			src := gr.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	return gx
+}
+
+// Network is a stack of tree-convolution layers followed by vote-masked
+// one-way dynamic max pooling, producing one fixed-width vector per tree.
+type Network struct {
+	Layers []*ConvLayer
+}
+
+// NewNetwork builds a conv stack with the given widths, e.g.
+// NewNetwork(feat, []int{512, 512, 512}, rng) for the paper's Grab-Traces
+// architecture.
+func NewNetwork(inDim int, widths []int, rng *tensor.RNG) *Network {
+	net := &Network{}
+	prev := inDim
+	for _, w := range widths {
+		net.Layers = append(net.Layers, NewConvLayer(prev, w, rng))
+		prev = w
+	}
+	return net
+}
+
+// OutDim returns the pooled output width.
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Params returns all layer parameters.
+func (n *Network) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Context carries the per-tree caches between Forward and Backward.
+type Context struct {
+	tree   *tensor.Tensor // unused placeholder to keep struct non-empty
+	states []*layerState
+	t      *Tree
+	argmax []int // per output dim, node index that won the pooling max (-1 none)
+}
+
+// Forward runs the conv stack over one tree and pools the voted nodes,
+// returning a (1, OutDim) vector and the backward context.
+func (n *Network) Forward(t *Tree) (*tensor.Tensor, *Context) {
+	ctx := &Context{t: t}
+	x := t.Feats
+	for _, l := range n.Layers {
+		var st *layerState
+		x, st = l.forward(t, x)
+		ctx.states = append(ctx.states, st)
+	}
+	// Vote-masked dynamic max pooling: only voting nodes contribute.
+	out := tensor.New(1, n.OutDim())
+	ctx.argmax = make([]int, n.OutDim())
+	for d := 0; d < n.OutDim(); d++ {
+		best := math.Inf(-1)
+		bestI := -1
+		for i := 0; i < t.Len(); i++ {
+			if t.Votes[i] <= 0 {
+				continue
+			}
+			if v := x.Data[i*n.OutDim()+d]; v > best {
+				best = v
+				bestI = i
+			}
+		}
+		if bestI >= 0 {
+			out.Data[d] = best
+		}
+		ctx.argmax[d] = bestI
+	}
+	return out, ctx
+}
+
+// Backward propagates a (1, OutDim) gradient through the pooling and conv
+// stack, accumulating parameter gradients.
+func (n *Network) Backward(ctx *Context, grad *tensor.Tensor) {
+	t := ctx.t
+	gx := tensor.New(t.Len(), n.OutDim())
+	for d := 0; d < n.OutDim(); d++ {
+		if i := ctx.argmax[d]; i >= 0 {
+			gx.Data[i*n.OutDim()+d] = grad.Data[d]
+		}
+	}
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		gx = n.Layers[li].backward(t, ctx.states[li], gx)
+	}
+}

@@ -1,0 +1,98 @@
+// Package treecnn implements tree convolution over O-T-P binary trees: the
+// triangular parent/left/right kernels of Mou et al. that the paper's
+// Prestroid models are built from, together with vote-masked one-way dynamic
+// pooling and the flattening of sub-tree samples into convolution-ready
+// arrays.
+package treecnn
+
+import (
+	"prestroid/internal/otp"
+	"prestroid/internal/subtree"
+	"prestroid/internal/tensor"
+)
+
+// Tree is a convolution-ready flattened binary tree: node features in BFS
+// order with child indices (-1 when a child is absent or outside the
+// sampled window) and the Algorithm-1 vote mask.
+type Tree struct {
+	Feats *tensor.Tensor // (n, featDim)
+	Left  []int          // index of left child, -1 if none
+	Right []int          // index of right child, -1 if none
+	Votes []float64      // 1 = participates in pooling
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.Left) }
+
+// FlattenSubTree converts one Algorithm-1 sample into a Tree using the
+// encoder for node features. Children that fell outside the sampled window
+// become -1 (their contribution to convolution is zero — exactly the
+// boundary information loss the vote mask guards against).
+func FlattenSubTree(st subtree.SubTree, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+	n := len(st.Nodes)
+	index := make(map[*otp.Node]int, n)
+	for i, node := range st.Nodes {
+		index[node] = i
+	}
+	tree := &Tree{
+		Feats: tensor.New(n, enc.FeatureDim()),
+		Left:  make([]int, n),
+		Right: make([]int, n),
+		Votes: append([]float64(nil), st.Votes...),
+	}
+	for i, node := range st.Nodes {
+		copy(tree.Feats.Row(i), enc.NodeFeature(node, ctx))
+		tree.Left[i] = childIndex(index, node.Left)
+		tree.Right[i] = childIndex(index, node.Right)
+	}
+	return tree
+}
+
+// FlattenFull converts a whole O-T-P tree into a single Tree with every node
+// voting — the representation used by the Prestroid-Full baseline (the tree
+// convolution segment of Neo).
+func FlattenFull(root *otp.Node, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+	var nodes []*otp.Node
+	queue := []*otp.Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == nil {
+			continue
+		}
+		nodes = append(nodes, n)
+		if n.Left != nil {
+			queue = append(queue, n.Left)
+		}
+		if n.Right != nil {
+			queue = append(queue, n.Right)
+		}
+	}
+	index := make(map[*otp.Node]int, len(nodes))
+	for i, n := range nodes {
+		index[n] = i
+	}
+	tree := &Tree{
+		Feats: tensor.New(len(nodes), enc.FeatureDim()),
+		Left:  make([]int, len(nodes)),
+		Right: make([]int, len(nodes)),
+		Votes: make([]float64, len(nodes)),
+	}
+	for i, n := range nodes {
+		copy(tree.Feats.Row(i), enc.NodeFeature(n, ctx))
+		tree.Left[i] = childIndex(index, n.Left)
+		tree.Right[i] = childIndex(index, n.Right)
+		tree.Votes[i] = 1
+	}
+	return tree
+}
+
+func childIndex(index map[*otp.Node]int, child *otp.Node) int {
+	if child == nil {
+		return -1
+	}
+	if i, ok := index[child]; ok {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,140 @@
+package word2vec
+
+import (
+	"testing"
+
+	"prestroid/internal/tensor"
+)
+
+// syntheticCorpus builds sentences from two disjoint topic clusters so that
+// within-cluster tokens co-occur and across-cluster tokens never do.
+func syntheticCorpus(n int) [][]string {
+	geo := []string{"longitude", "latitude", "geohash", "city"}
+	fin := []string{"amount", "currency", "fee", "datamart"}
+	rng := tensor.NewRNG(99)
+	var corpus [][]string
+	for i := 0; i < n; i++ {
+		src := geo
+		if i%2 == 1 {
+			src = fin
+		}
+		sent := make([]string, 6)
+		for j := range sent {
+			sent[j] = src[rng.Intn(len(src))]
+		}
+		corpus = append(corpus, sent)
+	}
+	return corpus
+}
+
+func TestVocabMinCount(t *testing.T) {
+	corpus := [][]string{
+		{"common", "common", "common", "rare"},
+		{"common", "common", "common"},
+	}
+	cfg := DefaultConfig(8)
+	cfg.MinCount = 3
+	cfg.Epochs = 1
+	m := Train(corpus, cfg)
+	if !m.Has("common") {
+		t.Fatal("frequent token dropped")
+	}
+	if m.Has("rare") {
+		t.Fatal("rare token kept despite MinCount")
+	}
+}
+
+func TestTopicClustersAreCloser(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.MinCount = 2
+	cfg.Epochs = 10
+	m := Train(syntheticCorpus(800), cfg)
+	within := m.Similarity("longitude", "latitude")
+	across := m.Similarity("longitude", "datamart")
+	if within <= across {
+		t.Fatalf("within-topic sim %.3f not greater than across-topic %.3f", within, across)
+	}
+	if within < 0.3 {
+		t.Fatalf("within-topic similarity too weak: %.3f", within)
+	}
+}
+
+func TestVectorDimensionsAndOOV(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.MinCount = 1
+	m := Train([][]string{{"a", "b", "a", "b", "c"}}, cfg)
+	v, ok := m.Vector("a")
+	if !ok || len(v) != 12 {
+		t.Fatalf("Vector = %v, %v", v, ok)
+	}
+	if _, ok := m.Vector("zzz"); ok {
+		t.Fatal("OOV token should not resolve")
+	}
+}
+
+func TestMeanVectorFallbacks(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.MinCount = 1
+	m := Train([][]string{{"x", "y", "x", "y"}}, cfg)
+	if _, ok := m.MeanVector([]string{"x", "unknown"}); !ok {
+		t.Fatal("MeanVector must succeed with one known token")
+	}
+	if _, ok := m.MeanVector([]string{"unknown1", "unknown2"}); ok {
+		t.Fatal("MeanVector must fail with no known tokens")
+	}
+	g := m.GlobalMean()
+	if len(g) != 4 {
+		t.Fatalf("GlobalMean dim = %d", len(g))
+	}
+}
+
+func TestTrainDeterministicAcrossRuns(t *testing.T) {
+	corpus := syntheticCorpus(100)
+	cfg := DefaultConfig(8)
+	cfg.MinCount = 2
+	cfg.Epochs = 2
+	m1 := Train(corpus, cfg)
+	m2 := Train(corpus, cfg)
+	v1, _ := m1.Vector("longitude")
+	v2, _ := m2.Vector("longitude")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("training must be deterministic for equal seeds")
+		}
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	m := Train(nil, DefaultConfig(8))
+	if m.VocabSize() != 0 {
+		t.Fatalf("VocabSize = %d", m.VocabSize())
+	}
+	if m.Similarity("a", "b") != 0 {
+		t.Fatal("similarity on empty model should be 0")
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.MinCount = 1
+	cfg.Epochs = 3
+	m := Train(syntheticCorpus(200), cfg)
+	s := m.Similarity("longitude", "latitude")
+	if s < -1.0001 || s > 1.0001 {
+		t.Fatalf("cosine out of bounds: %v", s)
+	}
+	if m.Similarity("longitude", "longitude") < 0.999 {
+		t.Fatal("self-similarity must be ~1")
+	}
+}
+
+func TestVocabOrderingStable(t *testing.T) {
+	corpus := [][]string{{"b", "b", "b", "a", "a", "a", "c", "c", "c"}}
+	cfg := DefaultConfig(2)
+	cfg.MinCount = 1
+	m := Train(corpus, cfg)
+	// Equal frequencies: alphabetical order.
+	if m.words[0] != "a" || m.words[1] != "b" || m.words[2] != "c" {
+		t.Fatalf("vocab order = %v", m.words)
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+// UnseenTableFraction reproduces the Table 1 measurement: given a trace
+// sorted in time, train on every query up to and including cutoffDay, then
+// report the fraction of distinct tables referenced by queries in the next
+// window days that the training period never saw.
+func UnseenTableFraction(traces []*Trace, cutoffDay, window int) float64 {
+	seen := map[string]bool{}
+	future := map[string]bool{}
+	for _, t := range traces {
+		switch {
+		case t.Day <= cutoffDay:
+			for _, tbl := range t.Plan.Tables() {
+				seen[tbl] = true
+			}
+		case t.Day <= cutoffDay+window:
+			for _, tbl := range t.Plan.Tables() {
+				future[tbl] = true
+			}
+		}
+	}
+	if len(future) == 0 {
+		return 0
+	}
+	unseen := 0
+	for tbl := range future {
+		if !seen[tbl] {
+			unseen++
+		}
+	}
+	return float64(unseen) / float64(len(future))
+}
+
+// TimeShiftedSample returns the traces from the final `days` of the window —
+// the paper's Table 5 evaluates models on a 1-week sample outside the
+// training range.
+func TimeShiftedSample(traces []*Trace, lastDay, days int) []*Trace {
+	var out []*Trace
+	for _, t := range traces {
+		if t.Day > lastDay-days && t.Day <= lastDay {
+			out = append(out, t)
+		}
+	}
+	return out
+}

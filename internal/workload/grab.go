@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"prestroid/internal/costsim"
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/tensor"
+)
+
+// GrabConfig controls the Grab-Traces-like generator.
+type GrabConfig struct {
+	Queries         int     // accepted queries (after the 1–60 min filter)
+	Days            int     // trace window length in days
+	InitialTables   int     // tables existing at day 0
+	TablesPerDay    int     // catalog growth rate (drives Table 1)
+	MonsterFraction float64 // probability of a long-tail giant query (Fig 8)
+	Seed            uint64
+	CPUMin, CPUMax  float64 // acceptance window in minutes (paper: 1–60)
+}
+
+// DefaultGrabConfig returns a scaled-down default; the paper-scale run uses
+// Queries=19876, Days=60.
+func DefaultGrabConfig() GrabConfig {
+	return GrabConfig{
+		Queries:         2000,
+		Days:            60,
+		InitialTables:   120,
+		TablesPerDay:    2,
+		MonsterFraction: 0.01,
+		Seed:            1,
+		CPUMin:          1,
+		CPUMax:          60,
+	}
+}
+
+// GrabGenerator synthesises industry-style OLAP queries over a growing
+// catalog.
+type GrabGenerator struct {
+	Catalog *Catalog
+	cfg     GrabConfig
+	rng     *tensor.RNG
+	est     *costsim.Estimator
+	nextID  int
+}
+
+// NewGrabGenerator builds the catalog and generator.
+func NewGrabGenerator(cfg GrabConfig) *GrabGenerator {
+	if cfg.CPUMax <= 0 {
+		cfg.CPUMin, cfg.CPUMax = 1, 60
+	}
+	return &GrabGenerator{
+		Catalog: NewCatalog(cfg.InitialTables, cfg.Days, cfg.TablesPerDay, cfg.Seed+77),
+		cfg:     cfg,
+		rng:     tensor.NewRNG(cfg.Seed),
+		est:     costsim.NewEstimator(cfg.Seed + 13),
+	}
+}
+
+// Generate produces the configured number of accepted traces, spreading
+// query days uniformly across the window. Rejected (out-of-window) queries
+// are regenerated, mirroring the paper's dataset filtering.
+func (g *GrabGenerator) Generate() []*Trace {
+	traces := make([]*Trace, 0, g.cfg.Queries)
+	attempts := 0
+	maxAttempts := g.cfg.Queries * 200
+	for len(traces) < g.cfg.Queries && attempts < maxAttempts {
+		attempts++
+		day := g.rng.Intn(g.cfg.Days + 1)
+		t := g.GenerateOne(day)
+		if t.Profile.CPUMinutes < g.cfg.CPUMin || t.Profile.CPUMinutes > g.cfg.CPUMax {
+			continue
+		}
+		t.ID = g.nextID
+		g.nextID++
+		traces = append(traces, t)
+	}
+	return traces
+}
+
+// GenerateOne synthesises a single (unfiltered) trace for the given day.
+func (g *GrabGenerator) GenerateOne(day int) *Trace {
+	monster := g.rng.Float64() < g.cfg.MonsterFraction
+	depth := 0
+	if monster {
+		depth = -2 // allows two extra nesting levels
+	}
+	sql := g.buildSelect(day, depth, monster)
+	plan, err := logicalplan.PlanSQL(sql)
+	if err != nil {
+		// Generator and parser disagree — a bug; fail loudly in development.
+		panic(fmt.Sprintf("workload: generated unparsable SQL: %v\n%s", err, sql))
+	}
+	return &Trace{
+		SQL:      sql,
+		Plan:     plan,
+		Day:      day,
+		Template: -1,
+		Profile:  g.est.Profile(plan),
+	}
+}
+
+// buildSelect emits one SELECT with random structure. depth counts nesting
+// levels already consumed; values below maxDepth permit further nesting.
+func (g *GrabGenerator) buildSelect(day, depth int, monster bool) string {
+	const maxDepth = 2
+	var b strings.Builder
+
+	// FROM clause: base tables with joins, possibly a derived table.
+	type src struct {
+		alias string
+		table Table
+	}
+	nJoins := g.rng.Intn(4) // 0-3 extra tables
+	if monster {
+		nJoins = 2 + g.rng.Intn(4)
+	}
+	var sources []src
+	var fromParts []string
+	useSubquery := depth < maxDepth && g.rng.Float64() < 0.25
+	for i := 0; i <= nJoins; i++ {
+		alias := fmt.Sprintf("t%d", i)
+		if i == 0 && useSubquery {
+			inner := g.buildSelect(day, depth+1, false)
+			fromParts = append(fromParts, fmt.Sprintf("(%s) %s", inner, alias))
+			// Derived tables expose the common columns only.
+			sources = append(sources, src{alias: alias, table: Table{
+				Name:    alias,
+				Columns: []Column{{Name: "id"}, {Name: "dt"}, {Name: "city_id"}},
+			}})
+			continue
+		}
+		tbl := g.Catalog.pickTable(day, g.rng)
+		sources = append(sources, src{alias: alias, table: tbl})
+		if i == 0 {
+			fromParts = append(fromParts, tbl.Name+" "+alias)
+		} else {
+			joinKind := "JOIN"
+			if g.rng.Float64() < 0.2 {
+				joinKind = "LEFT JOIN"
+			}
+			prevAlias := sources[g.rng.Intn(i)].alias
+			key := []string{"id", "city_id", "dt"}[g.rng.Intn(3)]
+			fromParts = append(fromParts, fmt.Sprintf("%s %s %s ON %s.%s = %s.%s",
+				joinKind, tbl.Name, alias, prevAlias, key, alias, key))
+		}
+	}
+
+	// Projection: star, columns, or aggregate.
+	groupBy := ""
+	proj := "*"
+	agg := g.rng.Float64() < 0.35
+	if agg {
+		s := sources[0]
+		col := s.table.Columns[g.rng.Intn(len(s.table.Columns))].Name
+		fn := []string{"COUNT", "SUM", "AVG", "MAX"}[g.rng.Intn(4)]
+		if fn == "COUNT" {
+			proj = fmt.Sprintf("%s.%s, COUNT(*) AS cnt", s.alias, col)
+		} else {
+			proj = fmt.Sprintf("%s.%s, %s(%s.%s) AS agg_v", s.alias, col, fn, s.alias, col)
+		}
+		groupBy = fmt.Sprintf(" GROUP BY %s.%s", s.alias, col)
+	} else if g.rng.Float64() < 0.5 {
+		var cols []string
+		n := 1 + g.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s := sources[g.rng.Intn(len(sources))]
+			c := s.table.Columns[g.rng.Intn(len(s.table.Columns))].Name
+			cols = append(cols, s.alias+"."+c)
+		}
+		proj = strings.Join(cols, ", ")
+	}
+
+	b.WriteString("SELECT ")
+	b.WriteString(proj)
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(fromParts, " "))
+
+	// WHERE: 0-6 clauses mixing AND/OR.
+	nClauses := g.rng.Intn(7)
+	if monster {
+		nClauses = 3 + g.rng.Intn(6)
+	}
+	if nClauses > 0 {
+		var clauses []string
+		for i := 0; i < nClauses; i++ {
+			s := sources[g.rng.Intn(len(sources))]
+			clauses = append(clauses, g.buildClause(s.alias, s.table))
+		}
+		where := clauses[0]
+		for _, c := range clauses[1:] {
+			conj := " AND "
+			if g.rng.Float64() < 0.3 {
+				conj = " OR "
+			}
+			where += conj + c
+		}
+		b.WriteString(" WHERE ")
+		b.WriteString(where)
+	}
+	b.WriteString(groupBy)
+
+	// ORDER BY / LIMIT.
+	if !agg && g.rng.Float64() < 0.3 {
+		s := sources[0]
+		c := s.table.Columns[g.rng.Intn(len(s.table.Columns))].Name
+		fmt.Fprintf(&b, " ORDER BY %s.%s", s.alias, c)
+		if g.rng.Float64() < 0.5 {
+			b.WriteString(" DESC")
+		}
+	}
+	if g.rng.Float64() < 0.35 {
+		fmt.Fprintf(&b, " LIMIT %d", 10+g.rng.Intn(10000))
+	}
+
+	// UNION ALL branches. Monster queries chain many.
+	unions := 0
+	if monster {
+		unions = 8 + g.rng.Intn(40)
+	} else if depth < maxDepth && g.rng.Float64() < 0.12 {
+		unions = 1 + g.rng.Intn(3)
+	}
+	for i := 0; i < unions; i++ {
+		b.WriteString(" UNION ALL ")
+		b.WriteString(g.buildSelect(day, maxDepth, false)) // flat branches
+	}
+	return b.String()
+}
+
+// buildClause emits one atomic predicate with random value — the source of
+// the workload's tens of thousands of distinct predicates.
+func (g *GrabGenerator) buildClause(alias string, tbl Table) string {
+	col := alias + "." + tbl.Columns[g.rng.Intn(len(tbl.Columns))].Name
+	switch g.rng.Intn(10) {
+	case 0, 1, 2: // comparison with numeric literal
+		op := []string{"=", "<", ">", "<=", ">=", "<>"}[g.rng.Intn(6)]
+		return fmt.Sprintf("%s %s %d", col, op, g.rng.Intn(100000))
+	case 3, 4: // float comparison
+		op := []string{"<", ">"}[g.rng.Intn(2)]
+		return fmt.Sprintf("%s %s %.2f", col, op, g.rng.Range(0, 1000))
+	case 5: // IN list
+		n := 2 + g.rng.Intn(4)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprint(g.rng.Intn(10000))
+		}
+		return fmt.Sprintf("%s IN (%s)", col, strings.Join(vals, ", "))
+	case 6: // BETWEEN
+		lo := g.rng.Intn(5000)
+		return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+1+g.rng.Intn(5000))
+	case 7: // LIKE
+		frag := []string{"sg", "id", "my", "ph", "th", "vn", "promo", "beta"}[g.rng.Intn(8)]
+		return fmt.Sprintf("%s LIKE '%s%%'", col, frag)
+	case 8: // IS NULL / IS NOT NULL
+		if g.rng.Float64() < 0.5 {
+			return col + " IS NULL"
+		}
+		return col + " IS NOT NULL"
+	default: // string equality
+		val := []string{"SG", "ID", "MY", "PH", "TH", "VN", "KH", "MM"}[g.rng.Intn(8)]
+		return fmt.Sprintf("%s = '%s'", col, val)
+	}
+}
+
+// DistinctPredicates counts the unique predicate strings across traces —
+// the paper's §3.3 scale metric (30,707 on Grab-Traces vs 1,450 on TPC-DS).
+func DistinctPredicates(traces []*Trace) int {
+	seen := map[string]bool{}
+	for _, t := range traces {
+		for _, p := range t.Plan.Predicates() {
+			seen[p] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/tensor"
+)
+
+// PlanSampleConfig controls the direct logical-plan generator used by the
+// plan-diversity (Fig 2) and long-tail (Fig 8) studies, which profile
+// 245,849 plans — too many to synthesise via SQL round-trips.
+type PlanSampleConfig struct {
+	Count int
+	Seed  uint64
+	// MaxNodes caps plan size (paper's Grab max: 4969 nodes).
+	MaxNodes int
+	// TailFraction is the share of plans drawn from the Pareto tail.
+	TailFraction float64
+}
+
+// DefaultPlanSampleConfig returns the defaults calibrated to the paper's
+// reported distribution: long-tailed node counts with a bulk of small plans.
+func DefaultPlanSampleConfig() PlanSampleConfig {
+	return PlanSampleConfig{Count: 10000, Seed: 3, MaxNodes: 4969, TailFraction: 0.02}
+}
+
+// GeneratePlanSample draws Count random plans whose node counts follow a
+// log-normal body with a Pareto tail, and whose shapes interpolate between
+// skewed chains (θ→0) and balanced binary trees (θ→1), reproducing the
+// straddled scatter of Fig 2.
+func GeneratePlanSample(cfg PlanSampleConfig) []*logicalplan.Node {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 4969
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	plans := make([]*logicalplan.Node, cfg.Count)
+	for i := range plans {
+		size := samplePlanSize(rng, cfg)
+		theta := rng.Float64()
+		plans[i] = buildRandomPlan(rng, size, theta)
+	}
+	return plans
+}
+
+// samplePlanSize draws a node count: log-normal body (median ≈ 30 nodes)
+// with a Pareto(α=1.1) tail reaching MaxNodes.
+func samplePlanSize(rng *tensor.RNG, cfg PlanSampleConfig) int {
+	var v float64
+	if rng.Float64() < cfg.TailFraction {
+		v = 300 * rng.Pareto(1.05)
+	} else {
+		v = rng.LogNorm(3.4, 1.0)
+	}
+	size := int(math.Round(v))
+	if size < 3 {
+		size = 3
+	}
+	if size > cfg.MaxNodes {
+		size = cfg.MaxNodes
+	}
+	return size
+}
+
+// buildRandomPlan constructs a plan of exactly size nodes. theta controls
+// branching: 0 yields left-deep chains, 1 yields balanced splits.
+func buildRandomPlan(rng *tensor.RNG, size int, theta float64) *logicalplan.Node {
+	body := buildPlanSubtree(rng, size-1, theta)
+	return logicalplan.NewNode(logicalplan.OpOutput, body)
+}
+
+func buildPlanSubtree(rng *tensor.RNG, size int, theta float64) *logicalplan.Node {
+	if size <= 1 {
+		return &logicalplan.Node{
+			Op:    logicalplan.OpTableScan,
+			Table: fmt.Sprintf("tbl_%03d", rng.Intn(400)),
+		}
+	}
+	// Binary operators need at least 3 nodes (self + two subtrees).
+	if size >= 3 && rng.Float64() < theta {
+		op := logicalplan.OpJoin
+		if rng.Float64() < 0.15 {
+			op = logicalplan.OpUnion
+		}
+		// Split the remaining size-1 nodes: balanced-ish under high theta.
+		rest := size - 1
+		left := 1 + rng.Intn(rest-1)
+		n := &logicalplan.Node{Op: op}
+		if op == logicalplan.OpJoin {
+			n.JoinKind = "INNER"
+		}
+		n.Children = []*logicalplan.Node{
+			buildPlanSubtree(rng, left, theta),
+			buildPlanSubtree(rng, rest-left, theta),
+		}
+		return n
+	}
+	unary := []logicalplan.Op{
+		logicalplan.OpFilter, logicalplan.OpProject, logicalplan.OpExchange,
+		logicalplan.OpAggregate, logicalplan.OpSort, logicalplan.OpLimit,
+	}
+	n := &logicalplan.Node{Op: unary[rng.Intn(len(unary))]}
+	n.Children = []*logicalplan.Node{buildPlanSubtree(rng, size-1, theta)}
+	return n
+}
+
+// PlanStats summarises a plan sample for the Fig 2 scatter and Fig 8 CDF.
+type PlanStats struct {
+	NodeCounts []int
+	MaxDepths  []int
+}
+
+// CollectPlanStats computes node counts and max depths for a plan set.
+func CollectPlanStats(plans []*logicalplan.Node) PlanStats {
+	st := PlanStats{
+		NodeCounts: make([]int, len(plans)),
+		MaxDepths:  make([]int, len(plans)),
+	}
+	for i, p := range plans {
+		st.NodeCounts[i] = p.NodeCount()
+		st.MaxDepths[i] = p.MaxDepth()
+	}
+	return st
+}
+
+// CDF returns the empirical cumulative distribution of the node counts at
+// the requested quantiles (e.g. 0.5, 0.9, 0.99, 1.0).
+func (s PlanStats) CDF(quantiles []float64) []int {
+	sorted := append([]int(nil), s.NodeCounts...)
+	sort.Ints(sorted)
+	out := make([]int, len(quantiles))
+	for i, q := range quantiles {
+		idx := int(q*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

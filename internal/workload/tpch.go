@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"prestroid/internal/costsim"
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/tensor"
+)
+
+// tpchTables is the fixed TPC-H schema used as the second public reference
+// workload in Fig 2 (22 templates, even less structural variety than
+// TPC-DS; the paper reports max plan (477 nodes, depth 38)).
+var tpchTables = []Table{
+	{Name: "lineitem", Columns: cols("l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipdate")},
+	{Name: "orders", Columns: cols("o_orderkey", "o_custkey", "o_orderdate", "o_totalprice", "o_orderpriority")},
+	{Name: "customer", Columns: cols("c_custkey", "c_nationkey", "c_acctbal", "c_mktsegment")},
+	{Name: "part", Columns: cols("p_partkey", "p_brand", "p_type", "p_size", "p_retailprice")},
+	{Name: "supplier", Columns: cols("s_suppkey", "s_nationkey", "s_acctbal")},
+	{Name: "partsupp", Columns: cols("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost")},
+	{Name: "nation", Columns: cols("n_nationkey", "n_regionkey")},
+	{Name: "region", Columns: cols("r_regionkey", "r_name")},
+}
+
+// TPCHConfig controls the TPC-H-like generator (22 templates as in the
+// public benchmark).
+type TPCHConfig struct {
+	Queries        int
+	Seed           uint64
+	CPUMin, CPUMax float64
+}
+
+// DefaultTPCHConfig returns the paper's reference sample size (22 queries,
+// one per template) scaled up enough to be a dataset.
+func DefaultTPCHConfig() TPCHConfig {
+	return TPCHConfig{Queries: 110, Seed: 4, CPUMin: 0, CPUMax: 0}
+}
+
+// TPCHGenerator instantiates queries from the 22 fixed templates.
+type TPCHGenerator struct {
+	cfg TPCHConfig
+	rng *tensor.RNG
+	est *costsim.Estimator
+}
+
+// NewTPCHGenerator returns a generator; a zero CPU window disables
+// filtering (the paper uses TPC-H plans only for the Fig 2 shape study).
+func NewTPCHGenerator(cfg TPCHConfig) *TPCHGenerator {
+	return &TPCHGenerator{
+		cfg: cfg,
+		rng: tensor.NewRNG(cfg.Seed),
+		est: costsim.NewEstimator(cfg.Seed + 19),
+	}
+}
+
+// instantiateTPCH renders template id (0..21) with fresh parameter values.
+// Templates are join pipelines of increasing width over the fixed schema.
+func (g *TPCHGenerator) instantiateTPCH(id int) string {
+	trng := tensor.NewRNG(uint64(id)*40503 + 7)
+	fact := tpchTables[trng.Intn(2)] // lineitem or orders
+	nJoins := 1 + trng.Intn(4)
+	var b strings.Builder
+	agg := trng.Float64() < 0.8
+	if agg {
+		fmt.Fprintf(&b, "SELECT f.%s, SUM(f.%s) AS total FROM %s f",
+			fact.Columns[0].Name, fact.Columns[3].Name, fact.Name)
+	} else {
+		fmt.Fprintf(&b, "SELECT f.%s FROM %s f", fact.Columns[0].Name, fact.Name)
+	}
+	used := map[string]bool{fact.Name: true}
+	for j := 0; j < nJoins; j++ {
+		var dim Table
+		for {
+			dim = tpchTables[2+trng.Intn(len(tpchTables)-2)]
+			if !used[dim.Name] {
+				break
+			}
+		}
+		used[dim.Name] = true
+		fmt.Fprintf(&b, " JOIN %s d%d ON f.%s = d%d.%s",
+			dim.Name, j, fact.Columns[j%3].Name, j, dim.Columns[0].Name)
+	}
+	nFilters := 1 + trng.Intn(3)
+	var clauses []string
+	for i := 0; i < nFilters; i++ {
+		col := "f." + fact.Columns[trng.Intn(len(fact.Columns))].Name
+		op := []string{"<", ">", "="}[trng.Intn(3)]
+		clauses = append(clauses, fmt.Sprintf("%s %s %d", col, op, g.rng.Intn(10000)))
+	}
+	b.WriteString(" WHERE " + strings.Join(clauses, " AND "))
+	if agg {
+		fmt.Fprintf(&b, " GROUP BY f.%s ORDER BY total DESC LIMIT 100", fact.Columns[0].Name)
+	}
+	return b.String()
+}
+
+// Generate produces traces cycling through the 22 templates.
+func (g *TPCHGenerator) Generate() []*Trace {
+	traces := make([]*Trace, 0, g.cfg.Queries)
+	for i := 0; len(traces) < g.cfg.Queries && i < g.cfg.Queries*100; i++ {
+		tpl := i % 22
+		sql := g.instantiateTPCH(tpl)
+		plan, err := logicalplan.PlanSQL(sql)
+		if err != nil {
+			panic(fmt.Sprintf("workload: tpch template produced unparsable SQL: %v\n%s", err, sql))
+		}
+		prof := g.est.Profile(plan)
+		if g.cfg.CPUMax > 0 && (prof.CPUMinutes < g.cfg.CPUMin || prof.CPUMinutes > g.cfg.CPUMax) {
+			continue
+		}
+		traces = append(traces, &Trace{
+			ID:       len(traces),
+			SQL:      sql,
+			Plan:     plan,
+			Template: tpl,
+			Profile:  prof,
+		})
+	}
+	return traces
+}
