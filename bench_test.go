@@ -9,14 +9,17 @@ package prestroid
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"prestroid/internal/costsim"
+	"prestroid/internal/dataset"
 	"prestroid/internal/experiments"
 	"prestroid/internal/logicalplan"
 	"prestroid/internal/models"
 	"prestroid/internal/nn"
 	"prestroid/internal/otp"
+	"prestroid/internal/serve"
 	"prestroid/internal/subtree"
 	"prestroid/internal/tensor"
 	"prestroid/internal/treecnn"
@@ -256,3 +259,120 @@ func BenchmarkDatasetStats(b *testing.B) { runExperiment(b, experiments.DatasetS
 
 // BenchmarkSweep regenerates the §5.2 hyper-parameter grid.
 func BenchmarkSweep(b *testing.B) { runExperiment(b, experiments.Sweep) }
+
+// --- serving-engine benchmarks ---
+
+var (
+	servePredOnce sync.Once
+	servePred     *serve.Predictor
+)
+
+// servePredictor trains a small Prestroid once and wraps it for serving.
+func servePredictor(b *testing.B) *serve.Predictor {
+	b.Helper()
+	servePredOnce.Do(func() {
+		cfg := workload.DefaultGrabConfig()
+		cfg.Queries = 120
+		traces := workload.NewGrabGenerator(cfg).Generate()
+		split := dataset.SplitRandom(traces, 1)
+		norm := workload.FitNormalizer(split.Train)
+		pcfg := models.DefaultPipelineConfig(8)
+		pcfg.MinCount = 2
+		pipe := models.BuildPipeline(split.Train, pcfg)
+		mcfg := models.DefaultPrestroidConfig(15, 5)
+		mcfg.ConvWidths = []int{8}
+		mcfg.DenseWidths = []int{8}
+		m := models.NewPrestroid(mcfg, pipe)
+		m.Prepare(split.Train[:32])
+		labels := dataset.Labels(split.Train[:32], norm)
+		for i := 0; i < 3; i++ {
+			m.TrainBatch(split.Train[:32], labels)
+		}
+		servePred = &serve.Predictor{Model: m, Pipe: pipe, Norm: norm}
+	})
+	return servePred
+}
+
+// serveTemplates is a repeated-template workload in the spirit of the Grab
+// traces, where a handful of templates dominate the request stream.
+var serveTemplates = []string{
+	"SELECT a FROM t WHERE a > 5",
+	"SELECT b FROM t WHERE b < 3 AND a > 1",
+	"SELECT a FROM t JOIN u ON t.id = u.id WHERE t.a > 7",
+	"SELECT a, b FROM t WHERE a > 2 ORDER BY b LIMIT 10",
+	"SELECT x FROM u WHERE x = 4",
+	"SELECT a FROM t WHERE a > 5 AND b < 9",
+	"SELECT u.x FROM u JOIN t ON u.id = t.id WHERE u.x < 6",
+	"SELECT b FROM t WHERE b > 8",
+}
+
+// serveClients drives b.N predictions through predict from 16 concurrent
+// closed-loop clients cycling over the repeated-template workload.
+func serveClients(b *testing.B, predict func(sql string) (serve.Prediction, error)) {
+	b.Helper()
+	const clients = 16
+	var next int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				if _, err := predict(serveTemplates[i%int64(len(serveTemplates))]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkServePredict compares the serialised predict-one-query-under-a-
+// mutex path against the batched concurrent engine at 16 concurrent clients
+// on a repeated-template workload, after checking the two paths return
+// byte-identical predictions for identical SQL.
+func BenchmarkServePredict(b *testing.B) {
+	pred := servePredictor(b)
+	check := serve.NewEngine(pred, serve.DefaultConfig())
+	for _, sql := range serveTemplates {
+		serial, err := pred.PredictSQL(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coalesced, err := check.PredictSQL(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if serial != coalesced {
+			b.Fatalf("paths diverge for %q: serial %+v vs coalesced %+v", sql, serial, coalesced)
+		}
+	}
+	check.Close()
+
+	b.Run("serial-mutex", func(b *testing.B) {
+		serveClients(b, pred.PredictSQL)
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		eng := serve.NewEngine(pred, serve.DefaultConfig())
+		defer eng.Close()
+		serveClients(b, eng.PredictSQL)
+	})
+	// Cache disabled and MaxWait zeroed: measures raw coalescer overhead.
+	// The batch-level wins (concurrent encode, conv fan-out across cores)
+	// need GOMAXPROCS > 1; on a single-core host this path degrades
+	// gracefully to serial-equivalent throughput instead of beating it.
+	b.Run("coalesced-nocache", func(b *testing.B) {
+		cfg := serve.DefaultConfig()
+		cfg.CacheSize = 0
+		cfg.MaxWait = 0
+		eng := serve.NewEngine(pred, cfg)
+		defer eng.Close()
+		serveClients(b, eng.PredictSQL)
+	})
+}

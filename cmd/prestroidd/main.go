@@ -9,6 +9,10 @@
 //
 // Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
 // GET /healthz.
+//
+// Inference runs through the batched concurrent engine: -max-batch and
+// -max-wait tune the micro-batching coalescer, -cache-size the LRU over
+// canonicalized SQL (see the serve-layer section of the README).
 package main
 
 import (
@@ -32,9 +36,14 @@ func main() {
 	pipePath := flag.String("pipeline", "", "pipeline bundle path")
 	weightPath := flag.String("weights", "", "weight bundle path")
 	queries := flag.Int("queries", 600, "synthetic training queries")
+	defaults := serve.DefaultConfig()
+	maxBatch := flag.Int("max-batch", defaults.MaxBatch, "max queries coalesced into one model batch (<=1 disables batching)")
+	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
+	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries); err != nil {
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize}
+	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries, cfg); err != nil {
 		log.Fatal("prestroidd: ", err)
 	}
 }
@@ -49,7 +58,7 @@ func modelConfig() models.PrestroidConfig {
 	return cfg
 }
 
-func run(addr string, doTrain bool, pipePath, weightPath string, queries int) error {
+func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cfg serve.Config) error {
 	var pred *serve.Predictor
 	switch {
 	case doTrain:
@@ -68,8 +77,10 @@ func run(addr string, doTrain bool, pipePath, weightPath string, queries int) er
 		}
 		pred = p
 	}
-	srv := serve.NewServer(pred)
-	log.Printf("serving %s on %s", pred.Model.Name(), addr)
+	srv := serve.NewServerConfig(pred, cfg)
+	defer srv.Close()
+	log.Printf("serving %s on %s (max-batch %d, max-wait %s, cache %d)",
+		pred.Model.Name(), addr, cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize)
 	return http.ListenAndServe(addr, srv)
 }
 

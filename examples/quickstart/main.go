@@ -5,9 +5,11 @@ package main
 
 import (
 	"fmt"
+	"sync"
 
 	"prestroid/internal/dataset"
 	"prestroid/internal/models"
+	"prestroid/internal/serve"
 	"prestroid/internal/train"
 	"prestroid/internal/workload"
 )
@@ -59,4 +61,32 @@ func main() {
 		fmt.Printf("  query %4d: actual %6.2f min, predicted %6.2f min\n",
 			tr.ID, tr.CPUMinutes(), norm.Denormalize(preds.Data[i]))
 	}
+
+	// 7. Serve ad-hoc SQL through the batched inference engine — the
+	//    deployment path of Fig 1. Concurrent callers are coalesced into
+	//    batched model calls, and repeated templates are answered from the
+	//    canonicalized-SQL cache without touching the model at all.
+	eng := serve.NewEngine(&serve.Predictor{Model: model, Pipe: pipe, Norm: norm}, serve.DefaultConfig())
+	defer eng.Close()
+	sql := "SELECT a FROM t WHERE a > 5"
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.PredictSQL(sql); err != nil {
+				fmt.Println("predict:", err)
+			}
+		}()
+	}
+	wg.Wait()
+	p, err := eng.PredictSQL(sql) // cache hit: identical answer, no model call
+	if err != nil {
+		fmt.Println("predict:", err)
+		return
+	}
+	em := eng.Metrics()
+	fmt.Printf("\nserving engine: %q -> %.2f CPU minutes (%d plan nodes)\n", sql, p.CPUMinutes, p.PlanNodes)
+	fmt.Printf("  %d queries served in %d model batches, %d cache hits\n",
+		em.Coalesced+em.CacheHits, em.Batches, em.CacheHits)
 }

@@ -1,0 +1,3 @@
+module prestroid
+
+go 1.22

@@ -148,7 +148,9 @@ func Table3(s *Suite) *Table {
 				bestBatch, bestTime = b, elapsed
 			}
 		}
-		t.AddRow(m.Name(), fmt.Sprint(bestBatch), bestTime.Round(time.Millisecond).String())
+		// Round to microseconds: fast models sweep the test set in well under
+		// a millisecond, and millisecond rounding would report "0s".
+		t.AddRow(m.Name(), fmt.Sprint(bestBatch), bestTime.Round(time.Microsecond).String())
 	}
 	return t
 }

@@ -16,6 +16,27 @@ import (
 
 // Model is a trainable query-cost regressor operating in the normalised
 // (0,1) label space.
+//
+// Concurrency contract: implementations are NOT safe for concurrent use.
+// Prepare, TrainBatch and Predict all mutate internal state — the per-trace
+// encoding cache, and layer scratch buffers written even during
+// inference-mode forward passes — so callers must serialise every call on a
+// given model. The serving layer (internal/serve) funnels all model calls
+// through a single batcher goroutine for exactly this reason. The only
+// exception is the optional concurrent-encoding split below: EncodeTrace is
+// pure and may run on many goroutines, while AdoptEncoding/Predict remain
+// single-goroutine.
+//
+// Two optional interfaces extend the contract:
+//
+//   - Evict(traces []*workload.Trace): drops the cached encodings of traces
+//     the caller will not reuse, bounding memory in long-running services.
+//     Evicting a trace that was never prepared is a no-op; a later Prepare
+//     (or lazy Predict) re-encodes it deterministically, so evict-then-
+//     predict returns byte-identical results.
+//   - EncodeTrace(tr) any / AdoptEncoding(tr, enc): splits Prepare into a
+//     pure encoding step, safe to fan out across goroutines, and a cheap
+//     cache-install step that must run on the same goroutine as Predict.
 type Model interface {
 	// Name identifies the model in experiment output.
 	Name() string

@@ -2,6 +2,7 @@ package models
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"prestroid/internal/dataset"
@@ -262,6 +263,57 @@ func TestPrestroidDisableVotes(t *testing.T) {
 					t.Fatal("DisableVotes must force all votes to 1")
 				}
 			}
+		}
+	}
+}
+
+func TestPrestroidConcurrentEncodeMatchesPrepare(t *testing.T) {
+	b := bed(t)
+	traces := b.split.Test[:8]
+
+	// Reference: the classic single-goroutine Prepare path.
+	ref := NewPrestroid(DefaultPrestroidConfig(15, 5), b.pipe)
+	ref.Prepare(traces)
+	want := ref.Predict(traces)
+
+	// Concurrent path: encode on many goroutines, adopt, then predict.
+	m := NewPrestroid(DefaultPrestroidConfig(15, 5), b.pipe)
+	encs := make([]any, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr *workload.Trace) {
+			defer wg.Done()
+			encs[i] = m.EncodeTrace(tr)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, tr := range traces {
+		m.AdoptEncoding(tr, encs[i])
+	}
+	got := m.Predict(traces)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("prediction %d diverged: concurrent-encode %v vs prepare %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestPrestroidEvictThenPredictIdentical(t *testing.T) {
+	b := bed(t)
+	traces := b.split.Test[:4]
+	m := NewPrestroid(DefaultPrestroidConfig(15, 5), b.pipe)
+	m.Prepare(traces)
+	want := m.Predict(traces)
+	// Evicting (including never-prepared traces: a no-op) and re-predicting
+	// must reproduce the exact same encodings and outputs.
+	extra := b.split.Test[4:6]
+	m.Evict(traces)
+	m.Evict(extra)
+	got := m.Predict(traces)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("prediction %d changed after eviction: %v vs %v", i, got.Data[i], want.Data[i])
 		}
 	}
 }

@@ -2,6 +2,9 @@ package models
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"prestroid/internal/dataset"
 	"prestroid/internal/nn"
@@ -142,51 +145,80 @@ func maxSamplingC(n int) int {
 
 // Prepare recasts, samples and flattens each trace's plan once.
 func (m *Prestroid) Prepare(traces []*workload.Trace) {
-	c := len(m.cfg.ConvWidths)
-	if max := maxSamplingC(m.cfg.N); c > max {
-		c = max
-	}
-	sampleCfg := subtree.Config{N: m.cfg.N, C: c}
 	for _, tr := range traces {
 		if _, ok := m.cache[tr]; ok {
 			continue
 		}
-		root := otp.Recast(tr.Plan)
-		qctx := m.pipe.Enc.NewQueryContext(root)
-		if m.cfg.K <= 0 {
-			full := treecnn.FlattenFull(root, m.pipe.Enc, qctx)
-			m.cache[tr] = []*treecnn.Tree{full}
-			if full.Len() > m.maxNodes {
-				m.maxNodes = full.Len()
-			}
-			continue
-		}
-		var samples []subtree.SubTree
-		switch m.cfg.Sampling {
-		case SamplingNaiveBFS:
-			samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, false)
-		case SamplingNaiveDFS:
-			samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, true)
-		default:
-			var err error
-			samples, err = subtree.Sample(root, sampleCfg)
-			if err != nil {
-				panic(fmt.Sprintf("models: %v", err))
-			}
-			samples = subtree.Select(samples, m.cfg.K)
-		}
-		trees := make([]*treecnn.Tree, 0, len(samples))
-		for _, st := range samples {
-			ft := treecnn.FlattenSubTree(st, m.pipe.Enc, qctx)
-			if m.cfg.DisableVotes {
-				for i := range ft.Votes {
-					ft.Votes[i] = 1
-				}
-			}
-			trees = append(trees, ft)
-		}
-		m.cache[tr] = trees
+		m.adopt(tr, m.encodeTrace(tr))
 	}
+}
+
+// encodeTrace recasts, samples and flattens one trace's plan. It reads only
+// immutable state (config, encoder tables, Word2Vec vectors) and allocates
+// fresh trees, so it is safe to call from many goroutines at once.
+func (m *Prestroid) encodeTrace(tr *workload.Trace) []*treecnn.Tree {
+	root := otp.Recast(tr.Plan)
+	qctx := m.pipe.Enc.NewQueryContext(root)
+	if m.cfg.K <= 0 {
+		return []*treecnn.Tree{treecnn.FlattenFull(root, m.pipe.Enc, qctx)}
+	}
+	var samples []subtree.SubTree
+	switch m.cfg.Sampling {
+	case SamplingNaiveBFS:
+		samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, false)
+	case SamplingNaiveDFS:
+		samples = subtree.NaiveChunks(root, m.cfg.N, m.cfg.K, true)
+	default:
+		c := len(m.cfg.ConvWidths)
+		if max := maxSamplingC(m.cfg.N); c > max {
+			c = max
+		}
+		var err error
+		samples, err = subtree.Sample(root, subtree.Config{N: m.cfg.N, C: c})
+		if err != nil {
+			panic(fmt.Sprintf("models: %v", err))
+		}
+		samples = subtree.Select(samples, m.cfg.K)
+	}
+	trees := make([]*treecnn.Tree, 0, len(samples))
+	for _, st := range samples {
+		ft := treecnn.FlattenSubTree(st, m.pipe.Enc, qctx)
+		if m.cfg.DisableVotes {
+			for i := range ft.Votes {
+				ft.Votes[i] = 1
+			}
+		}
+		trees = append(trees, ft)
+	}
+	return trees
+}
+
+// adopt installs pre-computed encodings in the cache. Like every other
+// cache mutation it must run on the goroutine that owns the model.
+func (m *Prestroid) adopt(tr *workload.Trace, trees []*treecnn.Tree) {
+	if _, ok := m.cache[tr]; ok {
+		return
+	}
+	m.cache[tr] = trees
+	if m.cfg.K <= 0 {
+		for _, t := range trees {
+			if t.Len() > m.maxNodes {
+				m.maxNodes = t.Len()
+			}
+		}
+	}
+}
+
+// EncodeTrace implements the serving layer's concurrent-encoding split: it
+// computes a trace's encodings without touching the shared cache, so a
+// batcher may fan the expensive recast/sample/flatten work across
+// goroutines before the serialised Predict call.
+func (m *Prestroid) EncodeTrace(tr *workload.Trace) any { return m.encodeTrace(tr) }
+
+// AdoptEncoding installs an encoding produced by EncodeTrace. It mutates the
+// cache and must run on the goroutine that owns the model, before Predict.
+func (m *Prestroid) AdoptEncoding(tr *workload.Trace, enc any) {
+	m.adopt(tr, enc.([]*treecnn.Tree))
 }
 
 // trees returns the cached trees for a trace, preparing lazily if needed.
@@ -209,33 +241,70 @@ func (m *Prestroid) slots() int {
 
 // forward computes the (batch, slots*convOut) flattened conv features,
 // returning the per-tree contexts needed for backward (nil when inference).
+// The conv stack is pure at forward time (all mutable state lives in the
+// returned contexts), so the per-trace work fans out across CPU cores; each
+// row is still computed with the exact operation order of the serial loop,
+// keeping outputs independent of batch composition.
 func (m *Prestroid) forward(batch []*workload.Trace, keepCtx bool) (*tensor.Tensor, [][]*treecnn.Context) {
-	k := m.slots()
-	out := tensor.New(len(batch), k*m.conv.OutDim())
+	// Ensure every trace is encoded before the parallel loop: Prepare is the
+	// only cache mutation, so the workers below only read.
+	m.Prepare(batch)
+	out := tensor.New(len(batch), m.slots()*m.conv.OutDim())
 	var ctxs [][]*treecnn.Context
 	if keepCtx {
 		ctxs = make([][]*treecnn.Context, len(batch))
 	}
-	for bi, tr := range batch {
-		trees := m.trees(tr)
-		if keepCtx {
-			ctxs[bi] = make([]*treecnn.Context, len(trees))
-		}
-		row := out.Row(bi)
-		for ti, tree := range trees {
-			if ti >= k {
-				break
-			}
-			pooled, ctx := m.conv.Forward(tree)
-			copy(row[ti*m.conv.OutDim():(ti+1)*m.conv.OutDim()], pooled.Data)
-			if keepCtx {
-				ctxs[bi][ti] = ctx
-			}
-		}
-		// Missing sub-trees (fewer than K samples) stay zero — the paper's
-		// padding of short queries.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
 	}
+	if workers <= 1 {
+		for bi, tr := range batch {
+			m.forwardOne(bi, tr, out, ctxs)
+		}
+		return out, ctxs
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= len(batch) {
+					return
+				}
+				m.forwardOne(bi, batch[bi], out, ctxs)
+			}
+		}()
+	}
+	wg.Wait()
 	return out, ctxs
+}
+
+// forwardOne convolves one trace's trees into row bi of out. Safe to call
+// from multiple goroutines for distinct bi once the trace is prepared.
+func (m *Prestroid) forwardOne(bi int, tr *workload.Trace, out *tensor.Tensor, ctxs [][]*treecnn.Context) {
+	trees := m.cache[tr]
+	if ctxs != nil {
+		ctxs[bi] = make([]*treecnn.Context, len(trees))
+	}
+	k := m.slots()
+	od := m.conv.OutDim()
+	row := out.Row(bi)
+	for ti, tree := range trees {
+		if ti >= k {
+			break
+		}
+		pooled, ctx := m.conv.Forward(tree)
+		copy(row[ti*od:(ti+1)*od], pooled.Data)
+		if ctxs != nil {
+			ctxs[bi][ti] = ctx
+		}
+	}
+	// Missing sub-trees (fewer than K samples) stay zero — the paper's
+	// padding of short queries.
 }
 
 // TrainBatch performs one ADAM step on Huber loss.
@@ -302,6 +371,9 @@ func (m *Prestroid) StateTensors() []*tensor.Tensor { return nn.CollectState(m.h
 
 // Evict drops cached encodings for traces the caller no longer needs —
 // long-running inference services evict after each request to bound memory.
+// Evicting a trace that was never prepared is a no-op, and a later Prepare
+// (or lazy Predict) re-encodes evicted traces deterministically, so
+// evict-then-predict returns byte-identical results.
 func (m *Prestroid) Evict(traces []*workload.Trace) {
 	for _, tr := range traces {
 		delete(m.cache, tr)

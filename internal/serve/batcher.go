@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/workload"
+)
+
+// Config tunes the batched inference engine.
+type Config struct {
+	// MaxBatch caps how many coalesced queries feed one Model.Predict call.
+	// Values <= 1 disable coalescing: every query becomes its own batch.
+	MaxBatch int
+	// MaxWait bounds how long the coalescer holds an open batch waiting for
+	// it to fill before flushing what it has. 0 flushes immediately after a
+	// non-blocking drain of the queue.
+	MaxWait time.Duration
+	// CacheSize is the number of canonicalised-SQL entries the prediction
+	// cache retains; 0 disables caching.
+	CacheSize int
+}
+
+// DefaultConfig mirrors the prestroidd defaults.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096}
+}
+
+// batchBuckets labels the batch-size histogram exposed at /v1/stats.
+var batchBuckets = []struct {
+	Label string
+	Max   int
+}{
+	{"1", 1}, {"2", 2}, {"3-4", 4}, {"5-8", 8},
+	{"9-16", 16}, {"17-32", 32}, {"33+", math.MaxInt},
+}
+
+func bucketFor(size int) int {
+	for i, b := range batchBuckets {
+		if size <= b.Max {
+			return i
+		}
+	}
+	return len(batchBuckets) - 1
+}
+
+// concurrentEncoder is the optional model interface that splits Prepare into
+// a pure per-trace encode (safe on many goroutines) and a cache install that
+// must run on the model-owning goroutine. Prestroid implements it.
+type concurrentEncoder interface {
+	EncodeTrace(tr *workload.Trace) any
+	AdoptEncoding(tr *workload.Trace, enc any)
+}
+
+// predictJob is one in-flight query travelling from an HTTP handler
+// goroutine to the batcher and back.
+type predictJob struct {
+	trace *workload.Trace
+	key   string       // canonical SQL, for single-flight dedup in flush
+	enc   any          // filled by the concurrent encode stage
+	done  chan float64 // buffered; receives the normalised prediction
+}
+
+// Engine is the batched, concurrent inference front end around a Predictor.
+// Handler goroutines parse and plan SQL concurrently, then hand their traces
+// to a single batcher goroutine that coalesces everything in flight
+// (bounded by MaxBatch/MaxWait), fans the feature encoding out across
+// goroutines, and issues one Model.Predict per coalesced group — replacing
+// the old predict-one-query-under-a-global-mutex path. An LRU keyed by
+// canonicalised SQL short-circuits repeated templates entirely.
+type Engine struct {
+	pred  *Predictor
+	cfg   Config
+	cache *predictionCache // nil when disabled
+
+	jobs chan *predictJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against late submits
+	closed bool
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+	hist      []int64 // len(batchBuckets), atomic counters
+}
+
+// NewEngine starts the batcher goroutine. Callers must Close the engine to
+// release it.
+func NewEngine(pred *Predictor, cfg Config) *Engine {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.MaxWait < 0 {
+		cfg.MaxWait = 0
+	}
+	e := &Engine{
+		pred: pred,
+		cfg:  cfg,
+		jobs: make(chan *predictJob, 4*cfg.MaxBatch),
+		quit: make(chan struct{}),
+		hist: make([]int64, len(batchBuckets)),
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newPredictionCache(cfg.CacheSize)
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// Close flushes queued work and stops the batcher. Queries arriving after
+// Close fall back to the serialised predict path, so Close never strands an
+// in-flight request.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.quit)
+	e.wg.Wait()
+}
+
+// PredictSQL parses, plans, encodes and costs one query through the cache
+// and the coalescer. Identical SQL always yields byte-identical predictions:
+// cache hits replay the stored result, and per-row model outputs are
+// independent of batch composition.
+func (e *Engine) PredictSQL(sql string) (Prediction, error) {
+	key := CanonicalSQL(sql)
+	if e.cache != nil {
+		if p, ok := e.cache.Get(key); ok {
+			return p, nil
+		}
+	}
+	plan, err := logicalplan.PlanSQL(sql)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("parse: %w", err)
+	}
+	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
+	y := e.submit(tr, key)
+	p := Prediction{
+		CPUMinutes: e.pred.Norm.Denormalize(y),
+		Normalized: y,
+		PlanNodes:  plan.NodeCount(),
+		PlanDepth:  plan.MaxDepth(),
+		Tables:     len(plan.Tables()),
+	}
+	if e.cache != nil {
+		e.cache.Put(key, p)
+	}
+	return p, nil
+}
+
+// submit enqueues a planned trace and blocks for its prediction. When the
+// queue is saturated or the engine is closed it degrades to the serialised
+// single-query path instead of blocking or failing.
+func (e *Engine) submit(tr *workload.Trace, key string) float64 {
+	e.mu.RLock()
+	if !e.closed {
+		job := &predictJob{trace: tr, key: key, done: make(chan float64, 1)}
+		select {
+		case e.jobs <- job:
+			e.mu.RUnlock()
+			return <-job.done
+		default:
+		}
+	}
+	e.mu.RUnlock()
+	return e.pred.predictTrace(tr)
+}
+
+// run is the batcher loop: one goroutine owns every model call.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	for {
+		select {
+		case j := <-e.jobs:
+			e.flush(e.collect(j, true))
+		case <-e.quit:
+			for {
+				select {
+				case j := <-e.jobs:
+					e.flush(e.collect(j, false))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect coalesces queued jobs behind first, up to MaxBatch. It first
+// drains whatever is already queued without blocking; if the batch is still
+// short and wait is set, it holds the batch open for at most MaxWait.
+func (e *Engine) collect(first *predictJob, wait bool) []*predictJob {
+	batch := append(make([]*predictJob, 0, e.cfg.MaxBatch), first)
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case j := <-e.jobs:
+			batch = append(batch, j)
+			continue
+		default:
+		}
+		break
+	}
+	if !wait || len(batch) >= e.cfg.MaxBatch || e.cfg.MaxWait <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(e.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case j := <-e.jobs:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush encodes a coalesced batch concurrently, runs one serialised
+// Prepare/Predict/Evict round trip, and wakes every waiting handler.
+// Concurrent misses of the same template — all in flight before the first
+// result could reach the cache — are single-flighted: the model sees one
+// row per distinct canonical key and every duplicate job shares its answer.
+func (e *Engine) flush(batch []*predictJob) {
+	uniq := make([]*predictJob, 0, len(batch))
+	rows := make([]int, len(batch))
+	rowOf := make(map[string]int, len(batch))
+	for i, j := range batch {
+		if r, ok := rowOf[j.key]; ok {
+			rows[i] = r
+			continue
+		}
+		rowOf[j.key] = len(uniq)
+		rows[i] = len(uniq)
+		uniq = append(uniq, j)
+	}
+	traces := make([]*workload.Trace, len(uniq))
+	for i, j := range uniq {
+		traces[i] = j.trace
+	}
+	ce, fanOut := e.pred.Model.(concurrentEncoder)
+	fanOut = fanOut && len(uniq) > 1
+	if fanOut {
+		var wg sync.WaitGroup
+		for _, j := range uniq {
+			wg.Add(1)
+			go func(j *predictJob) {
+				defer wg.Done()
+				j.enc = ce.EncodeTrace(j.trace)
+			}(j)
+		}
+		wg.Wait()
+	}
+	e.pred.mu.Lock()
+	if fanOut {
+		for _, j := range uniq {
+			ce.AdoptEncoding(j.trace, j.enc)
+		}
+	} else {
+		e.pred.Model.Prepare(traces)
+	}
+	out := e.pred.Model.Predict(traces)
+	if ev, ok := e.pred.Model.(evicter); ok {
+		ev.Evict(traces)
+	}
+	e.pred.mu.Unlock()
+
+	e.batches.Add(1)
+	e.coalesced.Add(int64(len(batch)))
+	atomic.AddInt64(&e.hist[bucketFor(len(uniq))], 1)
+	for i, j := range batch {
+		j.done <- out.Data[rows[i]]
+	}
+}
+
+// Metrics is the engine-level counter snapshot folded into /v1/stats.
+type Metrics struct {
+	Batches      int64            // coalesced groups flushed
+	Coalesced    int64            // queries served through those groups
+	BatchHist    map[string]int64 // batch-size histogram
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+}
+
+// Metrics returns a consistent-enough snapshot of the engine counters.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		Batches:   e.batches.Load(),
+		Coalesced: e.coalesced.Load(),
+		BatchHist: make(map[string]int64, len(batchBuckets)),
+	}
+	for i, b := range batchBuckets {
+		if n := atomic.LoadInt64(&e.hist[i]); n > 0 {
+			m.BatchHist[b.Label] = n
+		}
+	}
+	if e.cache != nil {
+		m.CacheHits, m.CacheMisses = e.cache.Counters()
+		m.CacheEntries = e.cache.Len()
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prestroid/internal/tensor"
+	"prestroid/internal/workload"
+)
+
+// stubModel is a deterministic, instrumented models.Model: predictions are a
+// pure function of the plan, Predict blocks for delay to force queueing, and
+// an in-flight counter catches any violation of the single-goroutine model
+// contract.
+type stubModel struct {
+	delay time.Duration
+
+	inFlight   atomic.Int32
+	violations atomic.Int32
+	predicts   atomic.Int64
+	evicted    atomic.Int64
+
+	mu         sync.Mutex
+	batchSizes []int
+}
+
+func (m *stubModel) enter() {
+	if m.inFlight.Add(1) > 1 {
+		m.violations.Add(1)
+	}
+}
+func (m *stubModel) exit() { m.inFlight.Add(-1) }
+
+func (m *stubModel) Name() string                     { return "stub" }
+func (m *stubModel) ParamCount() int                  { return 1 }
+func (m *stubModel) BatchBytes(batchSize int) int     { return batchSize }
+func (m *stubModel) Prepare(traces []*workload.Trace) { m.enter(); defer m.exit() }
+func (m *stubModel) TrainBatch(batch []*workload.Trace, labels *tensor.Tensor) float64 {
+	return 0
+}
+
+func (m *stubModel) Predict(batch []*workload.Trace) *tensor.Tensor {
+	m.enter()
+	defer m.exit()
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	m.predicts.Add(1)
+	m.mu.Lock()
+	m.batchSizes = append(m.batchSizes, len(batch))
+	m.mu.Unlock()
+	out := tensor.New(len(batch), 1)
+	for i, tr := range batch {
+		out.Data[i] = stubScore(tr)
+	}
+	return out
+}
+
+func (m *stubModel) Evict(traces []*workload.Trace) {
+	m.enter()
+	defer m.exit()
+	m.evicted.Add(int64(len(traces)))
+}
+
+// stubScore is the stub's deterministic "prediction" for a trace.
+func stubScore(tr *workload.Trace) float64 {
+	return float64(tr.Plan.NodeCount()) / 100
+}
+
+func stubEngine(t *testing.T, cfg Config, delay time.Duration) (*Engine, *stubModel) {
+	t.Helper()
+	m := &stubModel{delay: delay}
+	eng := NewEngine(&Predictor{Model: m}, cfg)
+	t.Cleanup(eng.Close)
+	return eng, m
+}
+
+// TestEngineCoalesces drives 32 concurrent distinct queries through a slow
+// stub model and checks that the batcher actually coalesces them, answers
+// every one correctly, evicts every trace, and never calls the model from
+// two goroutines at once.
+func TestEngineCoalesces(t *testing.T) {
+	eng, m := stubEngine(t, Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond}, 2*time.Millisecond)
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sql := fmt.Sprintf("SELECT a FROM t WHERE a > %d", i)
+			p, err := eng.PredictSQL(sql)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := (&Predictor{Model: &stubModel{}}).PredictSQL(sql)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.Normalized != want.Normalized || p.PlanNodes != want.PlanNodes {
+				errs <- fmt.Errorf("query %d: coalesced %+v != serial %+v", i, p, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	em := eng.Metrics()
+	if em.Coalesced != clients {
+		t.Fatalf("coalesced = %d, want %d", em.Coalesced, clients)
+	}
+	if em.Batches >= clients {
+		t.Fatalf("no coalescing: %d batches for %d queries", em.Batches, clients)
+	}
+	maxBatch := 0
+	m.mu.Lock()
+	for _, sz := range m.batchSizes {
+		if sz > maxBatch {
+			maxBatch = sz
+		}
+	}
+	m.mu.Unlock()
+	if maxBatch < 2 {
+		t.Fatalf("every batch had size 1 despite %d concurrent clients", clients)
+	}
+	if maxBatch > 8 {
+		t.Fatalf("batch size %d exceeds MaxBatch 8", maxBatch)
+	}
+	if got := m.evicted.Load(); got != clients {
+		t.Fatalf("evicted %d traces, want %d (memory would grow unbounded)", got, clients)
+	}
+	if v := m.violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent model calls observed; the contract requires serialisation", v)
+	}
+}
+
+// TestEngineCacheHit checks that a repeated template — including cosmetic
+// whitespace variants — is answered from the LRU without touching the model,
+// and returns the identical Prediction.
+func TestEngineCacheHit(t *testing.T) {
+	eng, m := stubEngine(t, Config{MaxBatch: 4, CacheSize: 8}, 0)
+	first, err := eng.PredictSQL("SELECT a FROM t WHERE a > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.PredictSQL("SELECT a FROM t WHERE a > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaced, err := eng.PredictSQL("SELECT   a\n\tFROM t   WHERE a > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again || first != spaced {
+		t.Fatalf("cache returned different predictions: %+v / %+v / %+v", first, again, spaced)
+	}
+	if got := m.predicts.Load(); got != 1 {
+		t.Fatalf("model ran %d times for one template, want 1", got)
+	}
+	em := eng.Metrics()
+	if em.CacheHits != 2 || em.CacheMisses != 1 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 2/1", em.CacheHits, em.CacheMisses)
+	}
+}
+
+// TestEngineCacheBounded checks LRU eviction keeps the entry count at the
+// configured cap.
+func TestEngineCacheBounded(t *testing.T) {
+	eng, _ := stubEngine(t, Config{MaxBatch: 1, CacheSize: 4}, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := eng.PredictSQL(fmt.Sprintf("SELECT a FROM t WHERE a > %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if em := eng.Metrics(); em.CacheEntries != 4 {
+		t.Fatalf("cache entries = %d, want 4", em.CacheEntries)
+	}
+}
+
+// TestEngineClosedFallsBack checks that predictions keep working on the
+// serialised path after Close, and that Close is idempotent.
+func TestEngineClosedFallsBack(t *testing.T) {
+	eng, m := stubEngine(t, Config{MaxBatch: 8}, 0)
+	want, err := eng.PredictSQL("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close()
+	got, err := eng.PredictSQL("SELECT b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Normalized != want.Normalized {
+		t.Fatalf("post-close prediction diverged: %v vs %v", got.Normalized, want.Normalized)
+	}
+	if v := m.violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent model calls after close", v)
+	}
+}
+
+// TestEngineSingleFlight checks that a cold burst of identical queries is
+// deduplicated inside the batch: the model sees one row, every caller gets
+// the same answer.
+func TestEngineSingleFlight(t *testing.T) {
+	eng, m := stubEngine(t, Config{MaxBatch: 16, MaxWait: 2 * time.Millisecond, CacheSize: 8}, 2*time.Millisecond)
+	const clients = 8
+	results := make([]Prediction, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := eng.PredictSQL("SELECT a FROM t WHERE a > 5")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+	var rows int
+	m.mu.Lock()
+	for _, sz := range m.batchSizes {
+		rows += sz
+	}
+	m.mu.Unlock()
+	if rows >= clients {
+		t.Fatalf("model predicted %d rows for %d identical in-flight queries; single-flight should dedup", rows, clients)
+	}
+}
+
+func TestCanonicalSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT a FROM t", "SELECT a FROM t"},
+		{"  SELECT   a \n\tFROM  t  ", "SELECT a FROM t"},
+		{"SELECT a FROM t WHERE name = 'a  b'", "SELECT a FROM t WHERE name = 'a  b'"},
+		{"SELECT a FROM t WHERE name =   'a  b'  AND x > 1", "SELECT a FROM t WHERE name = 'a  b' AND x > 1"},
+		{"select A from T", "select A from T"}, // case is preserved
+		// Comments are stripped like the lexer strips them, so a comment
+		// that swallows a clause yields a different key than one that ends
+		// at a newline before the clause.
+		{"SELECT a FROM t -- note\nWHERE x >= 2", "SELECT a FROM t WHERE x >= 2"},
+		{"SELECT a FROM t -- note WHERE x >= 2", "SELECT a FROM t"},
+		{"SELECT a - b FROM t", "SELECT a - b FROM t"}, // lone minus is not a comment
+		{"SELECT a FROM t WHERE name = '-- not a comment'", "SELECT a FROM t WHERE name = '-- not a comment'"},
+	}
+	for _, tc := range cases {
+		if got := CanonicalSQL(tc.in); got != tc.want {
+			t.Errorf("CanonicalSQL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if CanonicalSQL("SELECT a FROM t -- note\nWHERE x >= 2") == CanonicalSQL("SELECT a FROM t -- note WHERE x >= 2") {
+		t.Fatal("queries with different token streams share a cache key")
+	}
+}

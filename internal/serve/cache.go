@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CanonicalSQL normalises what the lexer ignores so cosmetic reformattings
+// of the same template share one cache entry: runs of blanks, tabs and
+// newlines outside single-quoted string literals collapse to a single
+// space, leading/trailing whitespace is dropped, and `--` line comments are
+// stripped exactly as the lexer strips them (to end of line). Stripping
+// comments — rather than collapsing the newline that terminates them — is
+// load-bearing: "SELECT a -- x\nWHERE b > 1" and "SELECT a -- x WHERE b > 1"
+// lex to different token streams and must not share a key. Identifier and
+// keyword case is preserved — the parser is the authority on case
+// semantics, so canonicalisation never merges queries it cannot prove
+// identical.
+func CanonicalSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inString := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inString {
+			b.WriteByte(c)
+			if c == '\'' {
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+		case '-':
+			if i+1 < len(sql) && sql[i+1] == '-' {
+				for i < len(sql) && sql[i] != '\n' {
+					i++
+				}
+				pendingSpace = true
+				continue
+			}
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(c)
+		case '\'':
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			inString = true
+			b.WriteByte(c)
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// predictionCache is a thread-safe LRU of finished predictions keyed by
+// canonicalised SQL. Repeated templates — the dominant case in the paper's
+// Grab workload — skip parse, encode and model inference entirely.
+type predictionCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	pred Prediction
+}
+
+func newPredictionCache(max int) *predictionCache {
+	return &predictionCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the cached prediction for a canonical key, marking it most
+// recently used.
+func (c *predictionCache) Get(key string) (Prediction, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return Prediction{}, false
+	}
+	c.order.MoveToFront(el)
+	p := el.Value.(*cacheEntry).pred
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return p, true
+}
+
+// Put stores a prediction, evicting the least recently used entry when full.
+func (c *predictionCache) Put(key string, p Prediction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).pred = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, pred: p})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of live entries.
+func (c *predictionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (c *predictionCache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

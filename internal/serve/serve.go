@@ -2,13 +2,22 @@
 // that parses incoming SQL, runs it through the trained pipeline and model,
 // and returns the predicted resource demand that the platform uses to
 // provision cluster capacity before the query executes.
+//
+// Two inference paths exist. Predictor.PredictSQL is the serialised
+// reference path: one query per Model.Predict call under a global mutex.
+// Engine (see batcher.go) is the production path: handlers plan and encode
+// concurrently while a single batcher goroutine coalesces everything in
+// flight into batched Model.Predict calls, with an LRU over canonicalised
+// SQL absorbing repeated templates.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +34,7 @@ type Predictor struct {
 	Pipe  *models.Pipeline
 	Norm  workload.Normalizer
 
-	mu sync.Mutex // models are not safe for concurrent Train/Predict
+	mu sync.Mutex // models are not safe for concurrent use (see models.Model)
 }
 
 // evicter is implemented by models that support dropping per-trace caches.
@@ -42,21 +51,16 @@ type Prediction struct {
 	Tables     int     `json:"tables"`
 }
 
-// PredictSQL parses, plans, encodes and costs a single query.
+// PredictSQL parses, plans, encodes and costs a single query on the
+// serialised path. It exists as the correctness reference and fallback; the
+// Engine is the throughput path.
 func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
 	plan, err := logicalplan.PlanSQL(sql)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("parse: %w", err)
 	}
 	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.Model.Prepare([]*workload.Trace{tr})
-	out := p.Model.Predict([]*workload.Trace{tr})
-	if ev, ok := p.Model.(evicter); ok {
-		ev.Evict([]*workload.Trace{tr})
-	}
-	y := out.Data[0]
+	y := p.predictTrace(tr)
 	return Prediction{
 		CPUMinutes: p.Norm.Denormalize(y),
 		Normalized: y,
@@ -66,35 +70,129 @@ func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
 	}, nil
 }
 
+// predictTrace costs one already-planned trace under the global model lock:
+// the per-query serialised path the batcher replaces (and degrades to when
+// closed or saturated).
+func (p *Predictor) predictTrace(tr *workload.Trace) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Model.Prepare([]*workload.Trace{tr})
+	out := p.Model.Predict([]*workload.Trace{tr})
+	if ev, ok := p.Model.(evicter); ok {
+		ev.Evict([]*workload.Trace{tr})
+	}
+	return out.Data[0]
+}
+
 // Stats are the service counters exposed at /v1/stats.
 type Stats struct {
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
 	TotalMillis int64   `json:"total_millis"`
 	AvgMillis   float64 `json:"avg_millis"`
-	ModelName   string  `json:"model"`
-	Params      int     `json:"parameters"`
+	P50Millis   float64 `json:"p50_millis"`
+	P95Millis   float64 `json:"p95_millis"`
+	P99Millis   float64 `json:"p99_millis"`
+
+	Batches      int64            `json:"batches"`
+	AvgBatchSize float64          `json:"avg_batch_size"`
+	BatchHist    map[string]int64 `json:"batch_hist"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	ModelName string `json:"model"`
+	Params    int    `json:"parameters"`
 }
 
-// Server is the HTTP front end.
+// latencyRing retains the most recent request latencies (microseconds) for
+// percentile estimation at /v1/stats time.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []int64
+	n   int // total observations ever
+}
+
+func newLatencyRing(size int) *latencyRing {
+	return &latencyRing{buf: make([]int64, size)}
+}
+
+func (r *latencyRing) Add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%len(r.buf)] = d.Microseconds()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Percentiles returns nearest-rank quantiles in milliseconds over the
+// retained window.
+func (r *latencyRing) Percentiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	n := r.n
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	snap := make([]int64, n)
+	copy(snap, r.buf[:n])
+	r.mu.Unlock()
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		out[i] = float64(snap[idx]) / 1e3
+	}
+	return out
+}
+
+// Server is the HTTP front end over the batched inference engine.
 type Server struct {
 	pred *Predictor
+	eng  *Engine
 	mux  *http.ServeMux
 
 	requests int64
 	errors   int64
 	millis   int64
+	lat      *latencyRing
 }
 
-// NewServer wires the routes.
+// NewServer wires the routes over an engine with default batching and
+// caching. Call Close to stop the engine.
 func NewServer(pred *Predictor) *Server {
-	s := &Server{pred: pred, mux: http.NewServeMux()}
+	return NewServerConfig(pred, DefaultConfig())
+}
+
+// NewServerConfig wires the routes over an engine tuned by cfg.
+func NewServerConfig(pred *Predictor, cfg Config) *Server {
+	s := &Server{
+		pred: pred,
+		eng:  NewEngine(pred, cfg),
+		mux:  http.NewServeMux(),
+		lat:  newLatencyRing(2048),
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
+
+// Engine exposes the underlying batcher, e.g. for benchmarks.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Close stops the batcher goroutine, flushing queued work first.
+func (s *Server) Close() { s.eng.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -115,34 +213,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func decodeSQL(r *http.Request) (string, error) {
+// decodeSQL extracts the query from a request body, returning the HTTP
+// status to use on failure.
+func decodeSQL(r *http.Request) (string, int, error) {
 	if r.Method != http.MethodPost {
-		return "", errors.New("method not allowed: use POST")
+		return "", http.StatusMethodNotAllowed, errors.New("method not allowed: use POST")
 	}
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return "", fmt.Errorf("bad request body: %w", err)
+		return "", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
 	if req.SQL == "" {
-		return "", errors.New("missing field: sql")
+		return "", http.StatusBadRequest, errors.New("missing field: sql")
 	}
-	return req.SQL, nil
+	return req.SQL, 0, nil
+}
+
+// observe folds one finished request — success or failure — into the
+// latency counters, so AvgMillis and the percentiles cover every terminal
+// path.
+func (s *Server) observe(start time.Time) {
+	d := time.Since(start)
+	atomic.AddInt64(&s.millis, d.Milliseconds())
+	s.lat.Add(d)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	atomic.AddInt64(&s.requests, 1)
-	sql, err := decodeSQL(r)
+	defer s.observe(start)
+	sql, code, err := decodeSQL(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, code, err)
 		return
 	}
-	pred, err := s.pred.PredictSQL(sql)
+	pred, err := s.eng.PredictSQL(sql)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	atomic.AddInt64(&s.millis, time.Since(start).Milliseconds())
 	writeJSON(w, http.StatusOK, pred)
 }
 
@@ -156,10 +265,12 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	atomic.AddInt64(&s.requests, 1)
-	sql, err := decodeSQL(r)
+	defer s.observe(start)
+	sql, code, err := decodeSQL(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, code, err)
 		return
 	}
 	plan, err := logicalplan.PlanSQL(sql)
@@ -179,15 +290,31 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	req := atomic.LoadInt64(&s.requests)
 	ms := atomic.LoadInt64(&s.millis)
+	em := s.eng.Metrics()
+	pct := s.lat.Percentiles(0.50, 0.95, 0.99)
 	st := Stats{
-		Requests:    req,
-		Errors:      atomic.LoadInt64(&s.errors),
-		TotalMillis: ms,
-		ModelName:   s.pred.Model.Name(),
-		Params:      s.pred.Model.ParamCount(),
+		Requests:     req,
+		Errors:       atomic.LoadInt64(&s.errors),
+		TotalMillis:  ms,
+		P50Millis:    pct[0],
+		P95Millis:    pct[1],
+		P99Millis:    pct[2],
+		Batches:      em.Batches,
+		BatchHist:    em.BatchHist,
+		CacheHits:    em.CacheHits,
+		CacheMisses:  em.CacheMisses,
+		CacheEntries: em.CacheEntries,
+		ModelName:    s.pred.Model.Name(),
+		Params:       s.pred.Model.ParamCount(),
 	}
 	if req > 0 {
 		st.AvgMillis = float64(ms) / float64(req)
+	}
+	if em.Batches > 0 {
+		st.AvgBatchSize = float64(em.Coalesced) / float64(em.Batches)
+	}
+	if lookups := em.CacheHits + em.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(em.CacheHits) / float64(lookups)
 	}
 	writeJSON(w, http.StatusOK, st)
 }

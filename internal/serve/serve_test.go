@@ -33,7 +33,9 @@ func newTestServer(t *testing.T) (*Server, *Predictor) {
 		m.TrainBatch(split.Train[:32], labels)
 	}
 	pred := &Predictor{Model: m, Pipe: pipe, Norm: norm}
-	return NewServer(pred), pred
+	srv := NewServer(pred)
+	t.Cleanup(srv.Close)
+	return srv, pred
 }
 
 func post(t *testing.T, srv *Server, path, body string) *httptest.ResponseRecorder {
@@ -98,12 +100,45 @@ func TestPredictBadBody(t *testing.T) {
 	if w := post(t, srv, "/v1/predict", `{}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("empty sql = %d", w.Code)
 	}
-	// GET is rejected.
+	// GET is rejected with 405, not 400.
 	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
 	w := httptest.NewRecorder()
 	srv.ServeHTTP(w, req)
-	if w.Code != http.StatusBadRequest {
+	if w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET predict = %d", w.Code)
+	}
+}
+
+// TestStatusCodeTable pins the full status-code contract of the SQL
+// endpoints: 405 for wrong method, 400 for malformed bodies, 422 for SQL the
+// planner rejects, 200 for the happy path.
+func TestStatusCodeTable(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"predict ok", http.MethodPost, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`, http.StatusOK},
+		{"explain ok", http.MethodPost, "/v1/explain", `{"sql":"SELECT a FROM t WHERE a > 5"}`, http.StatusOK},
+		{"predict GET", http.MethodGet, "/v1/predict", "", http.StatusMethodNotAllowed},
+		{"predict PUT", http.MethodPut, "/v1/predict", `{"sql":"SELECT a FROM t"}`, http.StatusMethodNotAllowed},
+		{"explain GET", http.MethodGet, "/v1/explain", "", http.StatusMethodNotAllowed},
+		{"predict truncated json", http.MethodPost, "/v1/predict", `{"sql":`, http.StatusBadRequest},
+		{"predict empty object", http.MethodPost, "/v1/predict", `{}`, http.StatusBadRequest},
+		{"explain empty sql", http.MethodPost, "/v1/explain", `{"sql":""}`, http.StatusBadRequest},
+		{"predict unparsable sql", http.MethodPost, "/v1/predict", `{"sql":"NOT EVEN SQL"}`, http.StatusUnprocessableEntity},
+		{"explain unparsable sql", http.MethodPost, "/v1/explain", `{"sql":"NOT EVEN SQL"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, tc.path, bytes.NewBufferString(tc.body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != tc.want {
+			t.Errorf("%s: got %d, want %d (body %q)", tc.name, w.Code, tc.want, w.Body)
+		}
 	}
 }
 
@@ -125,6 +160,7 @@ func TestExplainEndpoint(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	srv, _ := newTestServer(t)
 	post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`)
+	post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`) // cache hit
 	post(t, srv, "/v1/predict", `{"sql":"garbage"}`)
 	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
 	w := httptest.NewRecorder()
@@ -133,28 +169,70 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Requests != 2 || st.Errors != 1 {
+	if st.Requests != 3 || st.Errors != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 	if st.ModelName == "" || st.Params == 0 {
 		t.Fatalf("model metadata missing: %+v", st)
 	}
+	// Engine counters: one model batch (the miss), one cache hit, and the
+	// batch-size histogram accounts for every flushed batch.
+	if st.Batches < 1 || st.AvgBatchSize < 1 {
+		t.Fatalf("batch counters missing: %+v", st)
+	}
+	// Misses count lookups, so the unparsable query is the second miss.
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("cache counters = %+v", st)
+	}
+	if st.CacheHitRate <= 0.3 || st.CacheHitRate >= 0.4 {
+		t.Fatalf("cache hit rate = %v, want 1/3", st.CacheHitRate)
+	}
+	var histTotal int64
+	for _, n := range st.BatchHist {
+		histTotal += n
+	}
+	if histTotal != st.Batches {
+		t.Fatalf("batch_hist sums to %d, batches = %d", histTotal, st.Batches)
+	}
+	// Latency covers every terminal path, including the 422 — three samples.
+	if st.P50Millis < 0 || st.P99Millis < st.P50Millis {
+		t.Fatalf("latency percentiles inconsistent: %+v", st)
+	}
 }
 
+// TestConcurrentPredictions hammers the coalescer from 48 goroutines over a
+// handful of repeated templates (run under -race) and checks that identical
+// SQL yields byte-identical response bodies regardless of which batch each
+// request landed in.
 func TestConcurrentPredictions(t *testing.T) {
 	srv, _ := newTestServer(t)
+	queries := []string{
+		`{"sql":"SELECT a FROM t WHERE a > 5 AND b < 3"}`,
+		`{"sql":"SELECT b FROM t WHERE b < 9"}`,
+		`{"sql":"SELECT a FROM t JOIN u ON t.id = u.id WHERE t.a > 1"}`,
+		`{"sql":"SELECT a FROM t"}`,
+	}
+	const goroutines = 48
+	bodies := make([]string, goroutines)
 	var wg sync.WaitGroup
-	for i := 0; i < 16; i++ {
+	for i := 0; i < goroutines; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5 AND b < 3"}`)
+			w := post(t, srv, "/v1/predict", queries[i%len(queries)])
 			if w.Code != http.StatusOK {
-				t.Errorf("concurrent predict = %d", w.Code)
+				t.Errorf("concurrent predict = %d: %s", w.Code, w.Body)
+				return
 			}
-		}()
+			bodies[i] = w.Body.String()
+		}(i)
 	}
 	wg.Wait()
+	for i := range bodies {
+		if ref := bodies[i%len(queries)]; bodies[i] != ref {
+			t.Fatalf("query %d: body diverged across batches:\n%s\nvs\n%s", i, bodies[i], ref)
+		}
+	}
 }
 
 func TestPredictorEvictsCache(t *testing.T) {
