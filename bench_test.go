@@ -8,6 +8,7 @@
 package prestroid
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -306,9 +307,9 @@ var serveTemplates = []string{
 	"SELECT b FROM t WHERE b > 8",
 }
 
-// serveClients drives b.N predictions through predict from 16 concurrent
-// closed-loop clients cycling over the repeated-template workload.
-func serveClients(b *testing.B, predict func(sql string) (serve.Prediction, error)) {
+// driveClients drives b.N predictions through predict from 16 concurrent
+// closed-loop clients, the i-th request issuing sqlFor(i).
+func driveClients(b *testing.B, predict func(sql string) (serve.Prediction, error), sqlFor func(i int64) string) {
 	b.Helper()
 	const clients = 16
 	var next int64
@@ -323,7 +324,7 @@ func serveClients(b *testing.B, predict func(sql string) (serve.Prediction, erro
 				if i >= int64(b.N) {
 					return
 				}
-				if _, err := predict(serveTemplates[i%int64(len(serveTemplates))]); err != nil {
+				if _, err := predict(sqlFor(i)); err != nil {
 					b.Error(err)
 					return
 				}
@@ -331,6 +332,14 @@ func serveClients(b *testing.B, predict func(sql string) (serve.Prediction, erro
 		}()
 	}
 	wg.Wait()
+}
+
+// serveClients cycles the 16 concurrent clients over the repeated-template
+// workload.
+func serveClients(b *testing.B, predict func(sql string) (serve.Prediction, error)) {
+	driveClients(b, predict, func(i int64) string {
+		return serveTemplates[i%int64(len(serveTemplates))]
+	})
 }
 
 // BenchmarkServePredict compares the serialised predict-one-query-under-a-
@@ -375,4 +384,35 @@ func BenchmarkServePredict(b *testing.B) {
 		defer eng.Close()
 		serveClients(b, eng.PredictSQL)
 	})
+}
+
+// distinctSQL returns the i-th query of a cache-defeating workload: the
+// template repeats structurally but the constants never do, so canonical
+// keys are all distinct and every request pays parse + encode + model.
+func distinctSQL(i int64) string {
+	return fmt.Sprintf(
+		"SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > %d AND b < %d ORDER BY a LIMIT %d",
+		i, i%97+1, i%19+1)
+}
+
+// BenchmarkShardedDistinctTemplates sweeps replica counts over the
+// all-distinct-template workload — the hard case where the prediction cache
+// absorbs nothing and every query runs the full model. With one replica,
+// throughput is capped at single-batcher speed no matter how many cores the
+// host has; with N replicas the dispatcher hashes queries across N cloned
+// models, each on its own batcher goroutine, so cache-miss-heavy QPS scales
+// with cores. On a single-core host the sweep degrades gracefully to
+// replicas=1 throughput.
+func BenchmarkShardedDistinctTemplates(b *testing.B) {
+	pred := servePredictor(b)
+	for _, replicas := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := serve.DefaultConfig()
+			cfg.Replicas = replicas
+			cfg.CacheSize = 0 // keys never repeat; skip cache bookkeeping
+			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
+			defer eng.Close()
+			driveClients(b, eng.PredictSQL, distinctSQL)
+		})
+	}
 }

@@ -10,9 +10,12 @@
 // Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
 // GET /healthz.
 //
-// Inference runs through the batched concurrent engine: -max-batch and
-// -max-wait tune the micro-batching coalescer, -cache-size the LRU over
-// canonicalized SQL (see the serve-layer section of the README).
+// Inference runs through the sharded batched engine: -replicas sets how
+// many model replicas (each with its own batcher goroutine and cache
+// segment) the dispatcher fans coalesced batches out to, -max-batch and
+// -max-wait tune each shard's micro-batching coalescer, -cache-size the
+// total LRU budget over canonicalized SQL (see the serve-layer section of
+// the README).
 package main
 
 import (
@@ -39,10 +42,11 @@ func main() {
 	defaults := serve.DefaultConfig()
 	maxBatch := flag.Int("max-batch", defaults.MaxBatch, "max queries coalesced into one model batch (<=1 disables batching)")
 	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
-	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL (0 disables)")
+	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL, split across shards (0 disables)")
+	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
 	flag.Parse()
 
-	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize}
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize, Replicas: *replicas}
 	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries, cfg); err != nil {
 		log.Fatal("prestroidd: ", err)
 	}
@@ -79,8 +83,8 @@ func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cf
 	}
 	srv := serve.NewServerConfig(pred, cfg)
 	defer srv.Close()
-	log.Printf("serving %s on %s (max-batch %d, max-wait %s, cache %d)",
-		pred.Model.Name(), addr, cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize)
+	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d)",
+		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize)
 	return http.ListenAndServe(addr, srv)
 }
 

@@ -1,0 +1,82 @@
+package models
+
+import (
+	"testing"
+
+	"prestroid/internal/dataset"
+)
+
+// clonePrestroid builds a small trained Prestroid over the shared testbed.
+func clonePrestroid(t *testing.T, b *testbed) *Prestroid {
+	t.Helper()
+	cfg := DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{8}
+	cfg.DenseWidths = []int{8}
+	m := NewPrestroid(cfg, b.pipe)
+	batch := b.split.Train[:16]
+	m.Prepare(batch)
+	labels := dataset.Labels(batch, b.norm)
+	for i := 0; i < 3; i++ {
+		m.TrainBatch(batch, labels)
+	}
+	return m
+}
+
+// TestCloneBitIdenticalPredict pins the replica contract: a clone's Predict
+// output is bit-identical to the source model's on every trace, and the two
+// report the same identity.
+func TestCloneBitIdenticalPredict(t *testing.T) {
+	b := bed(t)
+	src := clonePrestroid(t, b)
+	clone := src.Clone()
+	if clone.Name() != src.Name() || clone.ParamCount() != src.ParamCount() {
+		t.Fatalf("clone identity diverged: %s/%d vs %s/%d",
+			clone.Name(), clone.ParamCount(), src.Name(), src.ParamCount())
+	}
+	traces := b.split.Test[:24]
+	want := src.Predict(traces)
+	got := clone.Predict(traces)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("trace %d: clone predicts %v, source %v (must be bit-identical)",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestCloneIsIndependent checks a clone neither tracks nor disturbs its
+// source: training the source afterwards leaves the clone's predictions
+// unchanged, byte for byte.
+func TestCloneIsIndependent(t *testing.T) {
+	b := bed(t)
+	src := clonePrestroid(t, b)
+	clone := src.Clone()
+	traces := b.split.Test[:8]
+	before := append([]float64(nil), clone.Predict(traces).Data...)
+
+	batch := b.split.Train[:16]
+	labels := dataset.Labels(batch, b.norm)
+	src.TrainBatch(batch, labels)
+
+	after := clone.Predict(traces)
+	for i := range before {
+		if after.Data[i] != before[i] {
+			t.Fatalf("trace %d: clone prediction drifted after source training: %v vs %v",
+				i, after.Data[i], before[i])
+		}
+	}
+}
+
+// TestCopyWeightsFromMismatch checks the shape validation that guards
+// replica construction and future hot-swaps.
+func TestCopyWeightsFromMismatch(t *testing.T) {
+	b := bed(t)
+	src := clonePrestroid(t, b)
+	other := DefaultPrestroidConfig(15, 5)
+	other.ConvWidths = []int{16}
+	other.DenseWidths = []int{8}
+	dst := NewPrestroid(other, b.pipe)
+	if err := dst.CopyWeightsFrom(src); err == nil {
+		t.Fatal("CopyWeightsFrom accepted mismatched architectures")
+	}
+}

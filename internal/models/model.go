@@ -27,7 +27,7 @@ import (
 // pure and may run on many goroutines, while AdoptEncoding/Predict remain
 // single-goroutine.
 //
-// Two optional interfaces extend the contract:
+// Three optional interfaces extend the contract:
 //
 //   - Evict(traces []*workload.Trace): drops the cached encodings of traces
 //     the caller will not reuse, bounding memory in long-running services.
@@ -37,6 +37,11 @@ import (
 //   - EncodeTrace(tr) any / AdoptEncoding(tr, enc): splits Prepare into a
 //     pure encoding step, safe to fan out across goroutines, and a cheap
 //     cache-install step that must run on the same goroutine as Predict.
+//   - Clone() Model (the Cloner interface below): constructs an independent
+//     replica with identical weights and non-trainable state, sharing only
+//     immutable pre-processing state. Replicas let a sharded serving layer
+//     run N single-goroutine models concurrently without violating this
+//     contract.
 type Model interface {
 	// Name identifies the model in experiment output.
 	Name() string
@@ -52,6 +57,18 @@ type Model interface {
 	// BatchBytes returns the padded input bytes of one batch — the paper's
 	// per-batch memory-footprint metric (Fig 6).
 	BatchBytes(batchSize int) int
+}
+
+// Cloner is the optional replica-construction extension. Clone returns an
+// independent model whose Predict output is bit-identical to the source's
+// for any trace: weights and non-trainable state (batch-norm running
+// statistics) are duplicated, mutable scratch (encoding caches, optimizer
+// moments) starts fresh, and only immutable pre-processing state — the
+// Pipeline — is shared. The serving layer uses Clone to fan one trained (or
+// persist-loaded) model out to N shards, each owned by its own batcher
+// goroutine (see internal/serve's ShardedEngine).
+type Cloner interface {
+	Clone() Model
 }
 
 // PipelineConfig configures the shared feature pipeline.

@@ -77,6 +77,12 @@ type Prestroid struct {
 
 	cache    map[*workload.Trace][]*treecnn.Tree
 	maxNodes int // full-tree padding target, set during Prepare
+
+	// sem, when set, is a pool of forward-worker slots shared with other
+	// model replicas: each conv worker holds a slot while it convolves one
+	// trace, so concurrent replicas divide the cores dynamically instead
+	// of every replica assuming it owns the whole host.
+	sem chan struct{}
 }
 
 // NewPrestroid builds the model over a shared pipeline.
@@ -275,7 +281,13 @@ func (m *Prestroid) forward(batch []*workload.Trace, keepCtx bool) (*tensor.Tens
 				if bi >= len(batch) {
 					return
 				}
+				if m.sem != nil {
+					m.sem <- struct{}{}
+				}
 				m.forwardOne(bi, batch[bi], out, ctxs)
+				if m.sem != nil {
+					<-m.sem
+				}
 			}
 		}()
 	}
@@ -306,6 +318,17 @@ func (m *Prestroid) forwardOne(bi int, tr *workload.Trace, out *tensor.Tensor, c
 	// Missing sub-trees (fewer than K samples) stay zero — the paper's
 	// padding of short queries.
 }
+
+// SetForwardSemaphore shares a pool of forward-worker slots (a buffered
+// channel, one slot per core) across model replicas; nil removes the
+// limit. When N replicas flush concurrently, each would otherwise run
+// GOMAXPROCS conv workers — N×GOMAXPROCS runnable goroutines
+// oversubscribing the very cores the replicas are meant to divide. Gating
+// each worker's per-trace work on a shared slot caps total runnable
+// workers at the pool size while still letting a single busy replica use
+// every core when the others are idle. Call it before serving begins; it
+// is not synchronised against concurrent Predict.
+func (m *Prestroid) SetForwardSemaphore(sem chan struct{}) { m.sem = sem }
 
 // TrainBatch performs one ADAM step on Huber loss.
 func (m *Prestroid) TrainBatch(batch []*workload.Trace, labels *tensor.Tensor) float64 {
@@ -359,6 +382,64 @@ func (m *Prestroid) BatchBytes(batchSize int) int {
 		n = 1
 	}
 	return dataset.PaddedTreeBatchBytes(batchSize, n, featDim)
+}
+
+// Clone returns an independent serving replica: a fresh Prestroid with the
+// same architecture, sharing the read-only Pipeline (Word2Vec vectors and
+// O-T-P encoder) and duplicating only mutable state — trainable weights and
+// batch-norm running statistics. The per-trace encoding cache starts empty,
+// optimizer moments are reset, and the replica's Predict output is
+// bit-identical to the source model's for any trace, so N clones of one
+// loaded weight bundle can serve concurrently (each on its own goroutine)
+// without ever diverging. Clone implements the Cloner extension.
+func (m *Prestroid) Clone() Model {
+	c := NewPrestroid(m.cfg, m.pipe)
+	if err := c.CopyWeightsFrom(m); err != nil {
+		// Unreachable by construction: an identical config yields an
+		// identical parameter order and shapes.
+		panic(fmt.Sprintf("models: clone: %v", err))
+	}
+	c.maxNodes = m.maxNodes
+	c.sem = m.sem
+	return c
+}
+
+// CopyWeightsFrom overwrites the model's trainable parameters and
+// non-trainable layer state with src's, validating tensor count and shapes
+// the same way persist.LoadWeights validates an on-disk bundle. It is the
+// in-memory half of the weight-shipment story: a bundle loaded once fans out
+// to N replicas via Clone, and a retrained model can later hot-swap its
+// weights into live replicas through this method.
+func (m *Prestroid) CopyWeightsFrom(src *Prestroid) error {
+	if len(src.params) != len(m.params) {
+		return fmt.Errorf("models: source has %d tensors, destination has %d", len(src.params), len(m.params))
+	}
+	for i, p := range m.params {
+		sw := src.params[i].W
+		if len(sw.Shape) != len(p.W.Shape) {
+			return fmt.Errorf("models: tensor %d (%s) rank mismatch", i, p.Name)
+		}
+		for d := range p.W.Shape {
+			if sw.Shape[d] != p.W.Shape[d] {
+				return fmt.Errorf("models: tensor %d (%s) shape %v, destination wants %v",
+					i, p.Name, sw.Shape, p.W.Shape)
+			}
+		}
+	}
+	for i, p := range m.params {
+		copy(p.W.Data, src.params[i].W.Data)
+	}
+	srcState, dstState := src.StateTensors(), m.StateTensors()
+	if len(srcState) != len(dstState) {
+		return fmt.Errorf("models: source has %d state tensors, destination has %d", len(srcState), len(dstState))
+	}
+	for i, st := range dstState {
+		if len(srcState[i].Data) != len(st.Data) {
+			return fmt.Errorf("models: state tensor %d size mismatch", i)
+		}
+		copy(st.Data, srcState[i].Data)
+	}
+	return nil
 }
 
 // Weights exposes the trainable parameters for persistence and for

@@ -83,6 +83,38 @@ func TestLoadWeightsGarbage(t *testing.T) {
 	}
 }
 
+// TestBundleFansOutToReplicas pins the sharded-serving shipment path: one
+// weight bundle, loaded once, fans out to N replicas via Clone, and every
+// replica predicts bit-identically to the trained source.
+func TestBundleFansOutToReplicas(t *testing.T) {
+	split, norm, pipe := fixture(t)
+	src := newModel(pipe, 1)
+	src.Prepare(split.Train[:32])
+	labels := dataset.Labels(split.Train[:32], norm)
+	for i := 0; i < 3; i++ {
+		src.TrainBatch(split.Train[:32], labels)
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	loaded := newModel(pipe, 77)
+	if err := LoadWeights(&buf, loaded); err != nil {
+		t.Fatal(err)
+	}
+	replicas := []models.Model{loaded, loaded.Clone(), loaded.Clone(), loaded.Clone()}
+	want := src.Predict(split.Test[:8])
+	for ri, r := range replicas {
+		got := r.Predict(split.Test[:8])
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("replica %d, trace %d: %v != trained %v (must be bit-identical)",
+					ri, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
 func TestPipelineRoundTrip(t *testing.T) {
 	split, _, pipe := fixture(t)
 	var buf bytes.Buffer

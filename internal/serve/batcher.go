@@ -21,13 +21,21 @@ type Config struct {
 	// non-blocking drain of the queue.
 	MaxWait time.Duration
 	// CacheSize is the number of canonicalised-SQL entries the prediction
-	// cache retains; 0 disables caching.
+	// cache retains; 0 disables caching. A ShardedEngine splits this budget
+	// evenly across its shards, so each shard owns an independent cache
+	// segment with its own mutex.
 	CacheSize int
+	// Replicas is the number of shards a ShardedEngine builds, each owning
+	// its own model replica, batcher goroutine and cache segment. Values
+	// <= 1 select a single shard. Sharding beyond one replica requires the
+	// model to implement models.Cloner; otherwise the engine stays
+	// single-shard.
+	Replicas int
 }
 
 // DefaultConfig mirrors the prestroidd defaults.
 func DefaultConfig() Config {
-	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096}
+	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096, Replicas: DefaultReplicas()}
 }
 
 // batchBuckets labels the batch-size histogram exposed at /v1/stats.
@@ -133,7 +141,13 @@ func (e *Engine) Close() {
 // cache hits replay the stored result, and per-row model outputs are
 // independent of batch composition.
 func (e *Engine) PredictSQL(sql string) (Prediction, error) {
-	key := CanonicalSQL(sql)
+	return e.predictKey(sql, CanonicalSQL(sql))
+}
+
+// predictKey is PredictSQL with the canonical key already computed: the
+// sharded dispatcher hashes the key to pick a shard, then hands it down so
+// canonicalisation runs exactly once per request.
+func (e *Engine) predictKey(sql, key string) (Prediction, error) {
 	if e.cache != nil {
 		if p, ok := e.cache.Get(key); ok {
 			return p, nil
@@ -175,6 +189,34 @@ func (e *Engine) submit(tr *workload.Trace, key string) float64 {
 	e.mu.RUnlock()
 	return e.pred.predictTrace(tr)
 }
+
+// cachePeek consults the engine's cache segment without recording a miss:
+// the dispatcher checks the home shard's cache before a saturation detour,
+// and the shard that finally serves the query accounts its own lookup.
+func (e *Engine) cachePeek(key string) (Prediction, bool) {
+	if e.cache == nil {
+		return Prediction{}, false
+	}
+	return e.cache.Peek(key)
+}
+
+// cachePut lands a finished prediction in the engine's cache segment; the
+// dispatcher uses it to deposit detour results where future lookups for
+// the key will actually hash.
+func (e *Engine) cachePut(key string, p Prediction) {
+	if e.cache != nil {
+		e.cache.Put(key, p)
+	}
+}
+
+// queued reports how many jobs are waiting in the engine's queue; the
+// sharded dispatcher uses it to find the least-loaded shard.
+func (e *Engine) queued() int { return len(e.jobs) }
+
+// saturated reports whether a non-blocking submit would fall back to the
+// serialised path; the sharded dispatcher routes around a saturated home
+// shard instead.
+func (e *Engine) saturated() bool { return len(e.jobs) == cap(e.jobs) }
 
 // run is the batcher loop: one goroutine owns every model call.
 func (e *Engine) run() {
@@ -291,6 +333,7 @@ type Metrics struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheEntries int
+	Queued       int // jobs waiting in the queue at snapshot time
 }
 
 // Metrics returns a consistent-enough snapshot of the engine counters.
@@ -299,6 +342,7 @@ func (e *Engine) Metrics() Metrics {
 		Batches:   e.batches.Load(),
 		Coalesced: e.coalesced.Load(),
 		BatchHist: make(map[string]int64, len(batchBuckets)),
+		Queued:    len(e.jobs),
 	}
 	for i, b := range batchBuckets {
 		if n := atomic.LoadInt64(&e.hist[i]); n > 0 {

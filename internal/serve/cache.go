@@ -95,11 +95,22 @@ func newPredictionCache(max int) *predictionCache {
 // Get returns the cached prediction for a canonical key, marking it most
 // recently used.
 func (c *predictionCache) Get(key string) (Prediction, bool) {
+	p, ok := c.Peek(key)
+	if !ok {
+		c.misses.Add(1)
+	}
+	return p, ok
+}
+
+// Peek is Get without miss accounting: a hit still counts and refreshes
+// recency, but a miss is left for whichever cache segment ultimately serves
+// the query, so the dispatcher's pre-detour home lookup doesn't
+// double-count lookups.
+func (c *predictionCache) Peek(key string) (Prediction, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
 		c.mu.Unlock()
-		c.misses.Add(1)
 		return Prediction{}, false
 	}
 	c.order.MoveToFront(el)

@@ -3,12 +3,15 @@
 // and returns the predicted resource demand that the platform uses to
 // provision cluster capacity before the query executes.
 //
-// Two inference paths exist. Predictor.PredictSQL is the serialised
+// Three inference paths exist. Predictor.PredictSQL is the serialised
 // reference path: one query per Model.Predict call under a global mutex.
-// Engine (see batcher.go) is the production path: handlers plan and encode
+// Engine (see batcher.go) is the per-shard unit: handlers plan and encode
 // concurrently while a single batcher goroutine coalesces everything in
 // flight into batched Model.Predict calls, with an LRU over canonicalised
-// SQL absorbing repeated templates.
+// SQL absorbing repeated templates. ShardedEngine (see shard.go) is the
+// production path: a dispatcher hashes canonical SQL across N such shards,
+// each owning its own model replica, so predict throughput scales with
+// cores instead of being capped at single-replica speed.
 package serve
 
 import (
@@ -103,8 +106,25 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
+	Replicas int          `json:"replicas"`
+	Shards   []ShardStats `json:"shards"`
+
 	ModelName string `json:"model"`
 	Params    int    `json:"parameters"`
+}
+
+// ShardStats is the per-shard slice of /v1/stats: each entry reports one
+// shard's batch and cache counters plus its queue depth at snapshot time,
+// so operators can see skew across the dispatcher's hash space.
+type ShardStats struct {
+	Shard        int     `json:"shard"`
+	Batches      int64   `json:"batches"`
+	Coalesced    int64   `json:"coalesced"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	Queued       int     `json:"queued"`
 }
 
 // latencyRing retains the most recent request latencies (microseconds) for
@@ -155,29 +175,31 @@ func (r *latencyRing) Percentiles(qs ...float64) []float64 {
 	return out
 }
 
-// Server is the HTTP front end over the batched inference engine.
+// Server is the HTTP front end over the sharded inference engine.
 type Server struct {
 	pred *Predictor
-	eng  *Engine
+	eng  *ShardedEngine
 	mux  *http.ServeMux
 
 	requests int64
 	errors   int64
-	millis   int64
+	micros   int64
 	lat      *latencyRing
 }
 
-// NewServer wires the routes over an engine with default batching and
-// caching. Call Close to stop the engine.
+// NewServer wires the routes over a sharded engine with default batching,
+// caching and replica count. Call Close to stop the engine.
 func NewServer(pred *Predictor) *Server {
 	return NewServerConfig(pred, DefaultConfig())
 }
 
-// NewServerConfig wires the routes over an engine tuned by cfg.
+// NewServerConfig wires the routes over an engine tuned by cfg. When
+// cfg.Replicas > 1 and the model supports cloning, inference is sharded
+// across that many model replicas; otherwise it runs single-shard.
 func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	s := &Server{
 		pred: pred,
-		eng:  NewEngine(pred, cfg),
+		eng:  NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
 		mux:  http.NewServeMux(),
 		lat:  newLatencyRing(2048),
 	}
@@ -188,10 +210,10 @@ func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	return s
 }
 
-// Engine exposes the underlying batcher, e.g. for benchmarks.
-func (s *Server) Engine() *Engine { return s.eng }
+// Engine exposes the underlying sharded dispatcher, e.g. for benchmarks.
+func (s *Server) Engine() *ShardedEngine { return s.eng }
 
-// Close stops the batcher goroutine, flushing queued work first.
+// Close stops every shard's batcher goroutine, flushing queued work first.
 func (s *Server) Close() { s.eng.Close() }
 
 // ServeHTTP implements http.Handler.
@@ -208,7 +230,24 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// requireGET guards the read-only endpoints: anything but GET or HEAD is
+// answered with 405 and an Allow header, mirroring the 405-vs-400 contract
+// of the POST endpoints. HEAD stays allowed because load balancers and
+// uptime probes commonly health-check with it; net/http suppresses the
+// body automatically.
+func requireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed: use GET"})
+	return false
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
 }
@@ -231,10 +270,12 @@ func decodeSQL(r *http.Request) (string, int, error) {
 
 // observe folds one finished request — success or failure — into the
 // latency counters, so AvgMillis and the percentiles cover every terminal
-// path.
+// path. It accumulates microseconds: cache hits routinely finish in well
+// under a millisecond, and summing truncated milliseconds would report
+// TotalMillis/AvgMillis of zero under exactly the traffic the cache is for.
 func (s *Server) observe(start time.Time) {
 	d := time.Since(start)
-	atomic.AddInt64(&s.millis, d.Milliseconds())
+	atomic.AddInt64(&s.micros, d.Microseconds())
 	s.lat.Add(d)
 }
 
@@ -288,14 +329,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	req := atomic.LoadInt64(&s.requests)
-	ms := atomic.LoadInt64(&s.millis)
-	em := s.eng.Metrics()
+	us := atomic.LoadInt64(&s.micros)
+	// One snapshot serves both views: aggregating a second snapshot for the
+	// totals would let per-shard counters sum past them under live traffic.
+	perShard := s.eng.ShardMetrics()
+	em := aggregate(perShard)
 	pct := s.lat.Percentiles(0.50, 0.95, 0.99)
 	st := Stats{
 		Requests:     req,
 		Errors:       atomic.LoadInt64(&s.errors),
-		TotalMillis:  ms,
+		TotalMillis:  us / 1e3,
 		P50Millis:    pct[0],
 		P95Millis:    pct[1],
 		P99Millis:    pct[2],
@@ -304,17 +351,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:    em.CacheHits,
 		CacheMisses:  em.CacheMisses,
 		CacheEntries: em.CacheEntries,
+		Replicas:     s.eng.Shards(),
 		ModelName:    s.pred.Model.Name(),
 		Params:       s.pred.Model.ParamCount(),
 	}
 	if req > 0 {
-		st.AvgMillis = float64(ms) / float64(req)
+		st.AvgMillis = float64(us) / 1e3 / float64(req)
 	}
 	if em.Batches > 0 {
 		st.AvgBatchSize = float64(em.Coalesced) / float64(em.Batches)
 	}
 	if lookups := em.CacheHits + em.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(em.CacheHits) / float64(lookups)
+	}
+	for i, m := range perShard {
+		sh := ShardStats{
+			Shard:        i,
+			Batches:      m.Batches,
+			Coalesced:    m.Coalesced,
+			CacheHits:    m.CacheHits,
+			CacheMisses:  m.CacheMisses,
+			CacheEntries: m.CacheEntries,
+			Queued:       m.Queued,
+		}
+		if m.Batches > 0 {
+			sh.AvgBatchSize = float64(m.Coalesced) / float64(m.Batches)
+		}
+		st.Shards = append(st.Shards, sh)
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -13,7 +13,10 @@ import (
 	"prestroid/internal/workload"
 )
 
-func newTestServer(t *testing.T) (*Server, *Predictor) {
+// newTestPredictor trains a small real Prestroid and wraps it for serving;
+// shard tests reuse it to assert replica correctness against the serialised
+// path.
+func newTestPredictor(t *testing.T) *Predictor {
 	t.Helper()
 	cfg := workload.DefaultGrabConfig()
 	cfg.Queries = 120
@@ -32,7 +35,12 @@ func newTestServer(t *testing.T) (*Server, *Predictor) {
 	for i := 0; i < 3; i++ {
 		m.TrainBatch(split.Train[:32], labels)
 	}
-	pred := &Predictor{Model: m, Pipe: pipe, Norm: norm}
+	return &Predictor{Model: m, Pipe: pipe, Norm: norm}
+}
+
+func newTestServer(t *testing.T) (*Server, *Predictor) {
+	t.Helper()
+	pred := newTestPredictor(t)
 	srv := NewServer(pred)
 	t.Cleanup(srv.Close)
 	return srv, pred
@@ -131,6 +139,16 @@ func TestStatusCodeTable(t *testing.T) {
 		{"explain empty sql", http.MethodPost, "/v1/explain", `{"sql":""}`, http.StatusBadRequest},
 		{"predict unparsable sql", http.MethodPost, "/v1/predict", `{"sql":"NOT EVEN SQL"}`, http.StatusUnprocessableEntity},
 		{"explain unparsable sql", http.MethodPost, "/v1/explain", `{"sql":"NOT EVEN SQL"}`, http.StatusUnprocessableEntity},
+		// The GET endpoints mirror the contract: wrong method is 405, with
+		// HEAD kept for health probes.
+		{"stats ok", http.MethodGet, "/v1/stats", "", http.StatusOK},
+		{"healthz ok", http.MethodGet, "/healthz", "", http.StatusOK},
+		{"stats HEAD", http.MethodHead, "/v1/stats", "", http.StatusOK},
+		{"healthz HEAD", http.MethodHead, "/healthz", "", http.StatusOK},
+		{"stats POST", http.MethodPost, "/v1/stats", "{}", http.StatusMethodNotAllowed},
+		{"stats PUT", http.MethodPut, "/v1/stats", "", http.StatusMethodNotAllowed},
+		{"healthz POST", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{"healthz DELETE", http.MethodDelete, "/healthz", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {
 		req := httptest.NewRequest(tc.method, tc.path, bytes.NewBufferString(tc.body))
@@ -197,6 +215,46 @@ func TestStatsEndpoint(t *testing.T) {
 	// Latency covers every terminal path, including the 422 — three samples.
 	if st.P50Millis < 0 || st.P99Millis < st.P50Millis {
 		t.Fatalf("latency percentiles inconsistent: %+v", st)
+	}
+	// The sharded engine reports its replica count and one entry per shard,
+	// and per-shard counters sum to the aggregates.
+	if st.Replicas < 1 || len(st.Shards) != st.Replicas {
+		t.Fatalf("replica stats inconsistent: replicas=%d shards=%d", st.Replicas, len(st.Shards))
+	}
+	var shardBatches, shardHits int64
+	for _, sh := range st.Shards {
+		shardBatches += sh.Batches
+		shardHits += sh.CacheHits
+	}
+	if shardBatches != st.Batches || shardHits != st.CacheHits {
+		t.Fatalf("per-shard counters don't sum to aggregate: %+v", st)
+	}
+}
+
+// TestLatencyAccountingSubMillisecond pins the microsecond-accumulation
+// fix: a burst of fast cache-hit requests each truncates to 0ms, so the old
+// millisecond accumulator reported zero total/average latency under exactly
+// the traffic the cache accelerates.
+func TestLatencyAccountingSubMillisecond(t *testing.T) {
+	srv := NewServerConfig(&Predictor{Model: &stubModel{}}, Config{MaxBatch: 1, CacheSize: 8})
+	t.Cleanup(srv.Close)
+	for i := 0; i < 20; i++ {
+		if w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`); w.Code != http.StatusOK {
+			t.Fatalf("predict = %d: %s", w.Code, w.Body)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 20 {
+		t.Fatalf("requests = %d, want 20", st.Requests)
+	}
+	if st.AvgMillis <= 0 {
+		t.Fatalf("avg_millis = %v after 20 requests; sub-millisecond latency truncated away", st.AvgMillis)
 	}
 }
 

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"runtime"
+
+	"prestroid/internal/models"
+)
+
+// DefaultReplicas is the prestroidd default shard count: one per core,
+// capped at 4 — each replica duplicates the model's weights, and past a
+// handful of CPU-bound shards dispatch overhead outweighs the extra
+// parallelism on typical hosts.
+func DefaultReplicas() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forwardLimiter is the optional model knob sharing a pool of forward-
+// worker slots across replicas; Prestroid implements it.
+type forwardLimiter interface {
+	SetForwardSemaphore(sem chan struct{})
+}
+
+// Replicas builds n serving replicas of pred. For n > 1 every replica —
+// including shard 0 — wraps a fresh model clone sharing pred's pipeline and
+// normaliser, so the caller's model is never mutated and stays usable on
+// the serialised path after the engine closes. Each replica gets its own
+// Predictor (and thus its own serialisation mutex), so N batcher goroutines
+// can run their models truly concurrently; to keep N concurrent flushes
+// from oversubscribing the host with N×GOMAXPROCS conv workers, the clones
+// share one pool of GOMAXPROCS forward-worker slots — concurrent flushes
+// divide the cores, while a single busy shard on an otherwise idle engine
+// still gets all of them. When n <= 1, or the model does not implement
+// models.Cloner, only pred itself is returned — the caller degrades to one
+// shard.
+func Replicas(pred *Predictor, n int) []*Predictor {
+	cl, ok := pred.Model.(models.Cloner)
+	if !ok || n <= 1 {
+		return []*Predictor{pred}
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	preds := make([]*Predictor, n)
+	for i := range preds {
+		m := cl.Clone()
+		if fl, ok := m.(forwardLimiter); ok {
+			fl.SetForwardSemaphore(sem)
+		}
+		preds[i] = &Predictor{Model: m, Pipe: pred.Pipe, Norm: pred.Norm}
+	}
+	return preds
+}
+
+// ShardedEngine fans inference out across N independent shards. Each shard
+// is a full Engine — its own batcher goroutine, its own model replica and
+// its own segment of the prediction cache — so shards share no mutable
+// state and no mutex. A dispatcher hashes canonical SQL to a home shard,
+// which preserves the per-shard single-flight dedup and cache locality of
+// the single-engine design; when the home shard's queue is saturated, the
+// query routes to the least-loaded shard instead. Rerouting is safe because
+// replicas carry identical weights: every shard returns byte-identical
+// predictions for identical SQL, so the only cost of a detour is a possible
+// duplicate cache entry.
+type ShardedEngine struct {
+	shards []*Engine
+}
+
+// NewShardedEngine starts one batcher per predictor (typically built with
+// Replicas). cfg.CacheSize is the total cache budget, split evenly across
+// shards; cfg.Replicas is ignored — len(preds) decides the shard count.
+// Callers must Close the engine to release the batcher goroutines.
+func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
+	if len(preds) == 0 {
+		panic("serve: NewShardedEngine needs at least one predictor")
+	}
+	per := cfg
+	if cfg.CacheSize > 0 {
+		per.CacheSize = (cfg.CacheSize + len(preds) - 1) / len(preds)
+	}
+	se := &ShardedEngine{shards: make([]*Engine, len(preds))}
+	for i, p := range preds {
+		se.shards[i] = NewEngine(p, per)
+	}
+	return se
+}
+
+// Shards reports the live shard count (the effective replica count).
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Close flushes and stops every shard's batcher. Like Engine.Close it is
+// idempotent, and queries arriving afterwards fall back to each shard's
+// serialised path.
+func (se *ShardedEngine) Close() {
+	for _, sh := range se.shards {
+		sh.Close()
+	}
+}
+
+// shardOf returns the home shard index for a canonical key: FNV-1a inlined
+// over the string, since this runs on every request — including cache hits
+// — and hash/fnv would cost two allocations per call.
+func (se *ShardedEngine) shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(se.shards)))
+}
+
+// pick resolves dispatch for a home shard: home itself, or — when its
+// queue is saturated — the least-loaded shard, so one hot hash bucket
+// cannot stall while other replicas sit idle.
+func (se *ShardedEngine) pick(home *Engine) *Engine {
+	if len(se.shards) == 1 || !home.saturated() {
+		return home
+	}
+	best := home
+	for _, sh := range se.shards {
+		if sh.queued() < best.queued() {
+			best = sh
+		}
+	}
+	return best
+}
+
+// PredictSQL canonicalises the query once, dispatches it to a shard and
+// returns that shard's prediction. The single-engine guarantee carries
+// over: identical SQL yields byte-identical predictions regardless of
+// replica count or which shard answered.
+func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
+	key := CanonicalSQL(sql)
+	home := se.shards[se.shardOf(key)]
+	sh := se.pick(home)
+	if sh == home {
+		return home.predictKey(sql, key)
+	}
+	// Saturation detour: the home cache segment never touches the jobs
+	// queue, so a cached answer is still the cheapest path — without this
+	// check, hot templates would be recomputed on another shard exactly
+	// when the service is overloaded.
+	if p, ok := home.cachePeek(key); ok {
+		return p, nil
+	}
+	p, err := sh.predictKey(sql, key)
+	if err == nil {
+		// Deposit the result where future lookups will hash: an entry
+		// stranded only on the detour shard is unreachable once the home
+		// queue drains.
+		home.cachePut(key, p)
+	}
+	return p, err
+}
+
+// aggregate sums per-shard snapshots into one Metrics. Callers that report
+// aggregates next to the per-shard breakdown must aggregate one snapshot
+// rather than snapshotting twice, or the two views drift under live
+// traffic.
+func aggregate(per []Metrics) Metrics {
+	agg := Metrics{BatchHist: make(map[string]int64, len(batchBuckets))}
+	for _, m := range per {
+		agg.Batches += m.Batches
+		agg.Coalesced += m.Coalesced
+		agg.CacheHits += m.CacheHits
+		agg.CacheMisses += m.CacheMisses
+		agg.CacheEntries += m.CacheEntries
+		agg.Queued += m.Queued
+		for k, v := range m.BatchHist {
+			agg.BatchHist[k] += v
+		}
+	}
+	return agg
+}
+
+// Metrics returns the aggregate counter snapshot summed across every shard.
+func (se *ShardedEngine) Metrics() Metrics {
+	return aggregate(se.ShardMetrics())
+}
+
+// ShardMetrics returns one counter snapshot per shard, index-aligned with
+// the dispatcher's shard numbering.
+func (se *ShardedEngine) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(se.shards))
+	for i, sh := range se.shards {
+		out[i] = sh.Metrics()
+	}
+	return out
+}
