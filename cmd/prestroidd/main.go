@@ -8,22 +8,32 @@
 //	prestroidd                                                # train in-memory & serve
 //
 // Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
-// GET /healthz.
+// GET /healthz, and the admin endpoint POST /v1/reload {"weights": path},
+// which hot-swaps a retrained weight bundle into the live replicas without
+// dropping traffic (guarded by -reload-token, or loopback-only when unset).
 //
 // Inference runs through the sharded batched engine: -replicas sets how
 // many model replicas (each with its own batcher goroutine and cache
 // segment) the dispatcher fans coalesced batches out to, -max-batch and
 // -max-wait tune each shard's micro-batching coalescer, -cache-size the
-// total LRU budget over canonicalized SQL (see the serve-layer section of
-// the README).
+// total LRU budget over canonicalized SQL (see the serve-layer and
+// operations sections of the README).
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the HTTP server stops
+// accepting work, in-flight handlers finish, then the engine quiesces and
+// drains its shards.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"prestroid/internal/dataset"
 	"prestroid/internal/models"
@@ -44,10 +54,11 @@ func main() {
 	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
 	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL, split across shards (0 disables)")
 	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
+	reloadToken := flag.String("reload-token", "", "bearer token required on POST /v1/reload; when empty, reload is loopback-only")
 	flag.Parse()
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize, Replicas: *replicas}
-	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries, cfg); err != nil {
+	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries, cfg, *reloadToken); err != nil {
 		log.Fatal("prestroidd: ", err)
 	}
 }
@@ -62,7 +73,7 @@ func modelConfig() models.PrestroidConfig {
 	return cfg
 }
 
-func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cfg serve.Config) error {
+func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cfg serve.Config, reloadToken string) error {
 	var pred *serve.Predictor
 	switch {
 	case doTrain:
@@ -83,9 +94,40 @@ func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cf
 	}
 	srv := serve.NewServerConfig(pred, cfg)
 	defer srv.Close()
+	srv.SetReloadToken(reloadToken)
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: srv,
+		// Slow-client bounds: a peer must present its header block promptly
+		// and finish its (already size-capped) body within the read window.
+		// No WriteTimeout — /v1/reload legitimately holds a handler for the
+		// duration of a roll.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d)",
 		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize)
-	return http.ListenAndServe(addr, srv)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("received %s; draining in-flight requests", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		// The deferred srv.Close quiesces and drains the engine shards; by
+		// now no handler can submit new work, so the drain is final.
+		log.Printf("drained; exiting")
+		return nil
+	}
 }
 
 // buildTraining generates the workload and trains the serving model.

@@ -67,6 +67,51 @@ func TestCloneIsIndependent(t *testing.T) {
 	}
 }
 
+// TestSwapWeightsFrom pins the hot-reload hook: swapping from a retrained
+// source makes a diverged replica predict bit-identically to it again, and
+// a non-Prestroid source is refused.
+func TestSwapWeightsFrom(t *testing.T) {
+	b := bed(t)
+	src := clonePrestroid(t, b)
+	replica := src.Clone().(*Prestroid)
+
+	// "Retrain" the source so the replica diverges.
+	batch := b.split.Train[:16]
+	labels := dataset.Labels(batch, b.norm)
+	for i := 0; i < 2; i++ {
+		src.TrainBatch(batch, labels)
+	}
+	traces := b.split.Test[:12]
+	want := src.Predict(traces)
+	stale := replica.Predict(traces)
+	diverged := false
+	for i := range want.Data {
+		if stale.Data[i] != want.Data[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("retraining did not change predictions; swap has nothing to prove")
+	}
+
+	if err := replica.SwapWeightsFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	got := replica.Predict(traces)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("trace %d: swapped replica predicts %v, source %v (must be bit-identical)",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+
+	var notPrestroid struct{ Model }
+	if err := replica.SwapWeightsFrom(notPrestroid); err == nil {
+		t.Fatal("SwapWeightsFrom accepted a non-Prestroid source")
+	}
+}
+
 // TestCopyWeightsFromMismatch checks the shape validation that guards
 // replica construction and future hot-swaps.
 func TestCopyWeightsFromMismatch(t *testing.T) {

@@ -71,6 +71,18 @@ type Cloner interface {
 	Clone() Model
 }
 
+// WeightSwapper is the optional hot-reload extension: SwapWeightsFrom
+// overwrites the model's trainable parameters and non-trainable layer state
+// (batch-norm running statistics) with src's, after validating that the two
+// architectures match — the in-memory analogue of persist.LoadWeights. The
+// serving layer uses it to roll a freshly retrained bundle across live
+// replicas one shard at a time. Callers own serialisation: the usual model
+// concurrency contract applies, so a swap must not overlap Prepare, Predict
+// or TrainBatch on the destination model.
+type WeightSwapper interface {
+	SwapWeightsFrom(src Model) error
+}
+
 // PipelineConfig configures the shared feature pipeline.
 type PipelineConfig struct {
 	Pf       int // Word2Vec feature size

@@ -442,6 +442,17 @@ func (m *Prestroid) CopyWeightsFrom(src *Prestroid) error {
 	return nil
 }
 
+// SwapWeightsFrom implements the WeightSwapper extension over
+// CopyWeightsFrom: only another Prestroid is an acceptable source, since
+// parameter order is only defined within one architecture family.
+func (m *Prestroid) SwapWeightsFrom(src Model) error {
+	s, ok := src.(*Prestroid)
+	if !ok {
+		return fmt.Errorf("models: cannot swap weights from %T into *Prestroid", src)
+	}
+	return m.CopyWeightsFrom(s)
+}
+
 // Weights exposes the trainable parameters for persistence and for
 // data-parallel weight synchronisation.
 func (m *Prestroid) Weights() []*nn.Param { return m.params }

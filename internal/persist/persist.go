@@ -59,17 +59,32 @@ func SaveWeights(w io.Writer, m WeightStore) error {
 	return gob.NewEncoder(w).Encode(&b)
 }
 
-// LoadWeights reads parameters and layer state from r into the model, which
-// must have been constructed with the same architecture (same parameter
-// order and shapes).
-func LoadWeights(r io.Reader, m WeightStore) error {
+// Bundle is a decoded weight bundle staged in memory. Splitting decode from
+// application lets a live service read and validate a bundle exactly once
+// before any running replica is touched: Validate proves the bundle fits a
+// model without mutating it, and Apply can then install the same decoded
+// bundle into any number of architecture-identical models.
+type Bundle struct {
+	b weightBundle
+}
+
+// DecodeBundle reads a weight bundle from r without applying it anywhere.
+func DecodeBundle(r io.Reader) (*Bundle, error) {
 	var b weightBundle
 	if err := gob.NewDecoder(r).Decode(&b); err != nil {
-		return fmt.Errorf("persist: decode: %w", err)
+		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
 	if b.Version != formatVersion {
-		return fmt.Errorf("persist: unsupported format version %d", b.Version)
+		return nil, fmt.Errorf("persist: unsupported format version %d", b.Version)
 	}
+	return &Bundle{b: b}, nil
+}
+
+// Validate checks the bundle against the model's parameter count, shapes and
+// layer-state sizes without writing anything, so a rejected bundle leaves the
+// model bit-identical to before the call.
+func (bd *Bundle) Validate(m WeightStore) error {
+	b := &bd.b
 	params := m.Weights()
 	if len(params) != len(b.Data) {
 		return fmt.Errorf("persist: bundle has %d tensors, model has %d", len(b.Data), len(params))
@@ -87,7 +102,6 @@ func LoadWeights(r io.Reader, m WeightStore) error {
 		if len(b.Data[i]) != len(p.W.Data) {
 			return fmt.Errorf("persist: tensor %d (%s) size mismatch", i, b.Names[i])
 		}
-		copy(p.W.Data, b.Data[i])
 	}
 	if ss, ok := m.(StateStore); ok {
 		state := ss.StateTensors()
@@ -98,8 +112,37 @@ func LoadWeights(r io.Reader, m WeightStore) error {
 			if len(b.State[i]) != len(st.Data) {
 				return fmt.Errorf("persist: state tensor %d size mismatch", i)
 			}
-			copy(st.Data, b.State[i])
 		}
 	}
 	return nil
+}
+
+// Apply validates the bundle against the model and then overwrites the
+// model's parameters and layer state with the bundle's. Validation runs in
+// full before the first write, so a failed Apply never leaves the model
+// partially overwritten.
+func (bd *Bundle) Apply(m WeightStore) error {
+	if err := bd.Validate(m); err != nil {
+		return err
+	}
+	for i, p := range m.Weights() {
+		copy(p.W.Data, bd.b.Data[i])
+	}
+	if ss, ok := m.(StateStore); ok {
+		for i, st := range ss.StateTensors() {
+			copy(st.Data, bd.b.State[i])
+		}
+	}
+	return nil
+}
+
+// LoadWeights reads parameters and layer state from r into the model, which
+// must have been constructed with the same architecture (same parameter
+// order and shapes).
+func LoadWeights(r io.Reader, m WeightStore) error {
+	bd, err := DecodeBundle(r)
+	if err != nil {
+		return err
+	}
+	return bd.Apply(m)
 }

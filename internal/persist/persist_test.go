@@ -115,6 +115,69 @@ func TestBundleFansOutToReplicas(t *testing.T) {
 	}
 }
 
+// TestBundleDecodeOnceApplyMany pins the hot-reload shipment contract: one
+// DecodeBundle feeds any number of Apply calls, Validate against a
+// mismatched architecture fails without mutating the model, and a failed
+// Apply leaves the destination bit-identical to before the call.
+func TestBundleDecodeOnceApplyMany(t *testing.T) {
+	split, norm, pipe := fixture(t)
+	src := newModel(pipe, 1)
+	src.Prepare(split.Train[:32])
+	labels := dataset.Labels(split.Train[:32], norm)
+	for i := 0; i < 3; i++ {
+		src.TrainBatch(split.Train[:32], labels)
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := DecodeBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One decoded bundle fans out into several fresh models.
+	want := src.Predict(split.Test[:8])
+	for seed := uint64(10); seed < 13; seed++ {
+		dst := newModel(pipe, seed)
+		if err := bd.Validate(dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := bd.Apply(dst); err != nil {
+			t.Fatal(err)
+		}
+		dst.Prepare(split.Test[:8])
+		got := dst.Predict(split.Test[:8])
+		if !tensor.Equal(want, got, 1e-12) {
+			t.Fatalf("seed %d: applied bundle predicts differently", seed)
+		}
+	}
+
+	// A mismatched architecture is rejected by Validate and by Apply, and
+	// neither writes a single scalar into the destination.
+	cfg := models.DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{16, 16}
+	cfg.DenseWidths = []int{8}
+	other := models.NewPrestroid(cfg, pipe)
+	snapshot := make([][]float64, len(other.Weights()))
+	for i, p := range other.Weights() {
+		snapshot[i] = append([]float64(nil), p.W.Data...)
+	}
+	if err := bd.Validate(other); err == nil {
+		t.Fatal("Validate accepted a mismatched architecture")
+	}
+	if err := bd.Apply(other); err == nil {
+		t.Fatal("Apply accepted a mismatched architecture")
+	}
+	for i, p := range other.Weights() {
+		for j := range p.W.Data {
+			if p.W.Data[j] != snapshot[i][j] {
+				t.Fatalf("rejected bundle mutated tensor %d", i)
+			}
+		}
+	}
+}
+
 func TestPipelineRoundTrip(t *testing.T) {
 	split, _, pipe := fixture(t)
 	var buf bytes.Buffer

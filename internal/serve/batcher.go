@@ -64,13 +64,21 @@ type concurrentEncoder interface {
 	AdoptEncoding(tr *workload.Trace, enc any)
 }
 
+// predictResult is the batcher's answer to one job: the normalised
+// prediction and the weight generation of the model that computed it, read
+// under the same lock as the model call so the tag is always truthful.
+type predictResult struct {
+	y   float64
+	gen int64
+}
+
 // predictJob is one in-flight query travelling from an HTTP handler
 // goroutine to the batcher and back.
 type predictJob struct {
 	trace *workload.Trace
-	key   string       // canonical SQL, for single-flight dedup in flush
-	enc   any          // filled by the concurrent encode stage
-	done  chan float64 // buffered; receives the normalised prediction
+	key   string             // canonical SQL, for single-flight dedup in flush
+	enc   any                // filled by the concurrent encode stage
+	done  chan predictResult // buffered; receives the prediction + generation
 }
 
 // Engine is the batched, concurrent inference front end around a Predictor.
@@ -91,6 +99,17 @@ type Engine struct {
 
 	mu     sync.RWMutex // guards closed against late submits
 	closed bool
+
+	// quiescing diverts new dispatcher traffic away from this shard while
+	// its replica's weights are being swapped (see reload.go); the shard
+	// itself keeps answering whatever still reaches it, tagged with the
+	// generation of the weights that actually ran.
+	quiescing atomic.Bool
+	// weightGen is the bundle generation of the replica's current weights.
+	// It is written only under pred.mu (alongside the swap itself) and read
+	// under pred.mu at every model call, so each prediction carries exactly
+	// the generation that produced it.
+	weightGen atomic.Int64
 
 	batches   atomic.Int64
 	coalesced atomic.Int64
@@ -113,17 +132,20 @@ func NewEngine(pred *Predictor, cfg Config) *Engine {
 		quit: make(chan struct{}),
 		hist: make([]int64, len(batchBuckets)),
 	}
+	e.weightGen.Store(initialGeneration)
 	if cfg.CacheSize > 0 {
-		e.cache = newPredictionCache(cfg.CacheSize)
+		e.cache = newPredictionCache(cfg.CacheSize, initialGeneration)
 	}
 	e.wg.Add(1)
 	go e.run()
 	return e
 }
 
-// Close flushes queued work and stops the batcher. Queries arriving after
-// Close fall back to the serialised predict path, so Close never strands an
-// in-flight request.
+// Close flushes queued work and stops the batcher. It reuses the reload
+// quiesce machinery: the shard first stops admitting dispatcher traffic and
+// drains its queue while the batcher is still coalescing, then the batcher
+// exits. Queries arriving after Close fall back to the serialised predict
+// path, so Close never strands an in-flight request.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -132,6 +154,8 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	e.beginQuiesce()
+	e.drainQueue(drainTimeout)
 	close(e.quit)
 	e.wg.Wait()
 }
@@ -141,24 +165,27 @@ func (e *Engine) Close() {
 // cache hits replay the stored result, and per-row model outputs are
 // independent of batch composition.
 func (e *Engine) PredictSQL(sql string) (Prediction, error) {
-	return e.predictKey(sql, CanonicalSQL(sql))
+	p, _, err := e.predictKey(sql, CanonicalSQL(sql))
+	return p, err
 }
 
 // predictKey is PredictSQL with the canonical key already computed: the
 // sharded dispatcher hashes the key to pick a shard, then hands it down so
-// canonicalisation runs exactly once per request.
-func (e *Engine) predictKey(sql, key string) (Prediction, error) {
+// canonicalisation runs exactly once per request. Alongside the prediction
+// it reports the weight generation that produced it — for a cache hit, the
+// generation recorded when the entry was admitted.
+func (e *Engine) predictKey(sql, key string) (Prediction, int64, error) {
 	if e.cache != nil {
-		if p, ok := e.cache.Get(key); ok {
-			return p, nil
+		if p, g, ok := e.cache.Get(key); ok {
+			return p, g, nil
 		}
 	}
 	plan, err := logicalplan.PlanSQL(sql)
 	if err != nil {
-		return Prediction{}, fmt.Errorf("parse: %w", err)
+		return Prediction{}, 0, fmt.Errorf("parse: %w", err)
 	}
 	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	y := e.submit(tr, key)
+	y, gen := e.submit(tr, key)
 	p := Prediction{
 		CPUMinutes: e.pred.Norm.Denormalize(y),
 		Normalized: y,
@@ -167,45 +194,57 @@ func (e *Engine) predictKey(sql, key string) (Prediction, error) {
 		Tables:     len(plan.Tables()),
 	}
 	if e.cache != nil {
-		e.cache.Put(key, p)
+		e.cache.Put(key, p, gen)
 	}
-	return p, nil
+	return p, gen, nil
 }
 
 // submit enqueues a planned trace and blocks for its prediction. When the
 // queue is saturated or the engine is closed it degrades to the serialised
 // single-query path instead of blocking or failing.
-func (e *Engine) submit(tr *workload.Trace, key string) float64 {
+func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64) {
 	e.mu.RLock()
 	if !e.closed {
-		job := &predictJob{trace: tr, key: key, done: make(chan float64, 1)}
+		job := &predictJob{trace: tr, key: key, done: make(chan predictResult, 1)}
 		select {
 		case e.jobs <- job:
 			e.mu.RUnlock()
-			return <-job.done
+			res := <-job.done
+			return res.y, res.gen
 		default:
 		}
 	}
 	e.mu.RUnlock()
-	return e.pred.predictTrace(tr)
+	return e.serialPredict(tr)
+}
+
+// serialPredict is the engine's serialised fallback: one model round trip
+// under the predictor lock, with the weight generation read under that same
+// lock so a concurrent hot-swap can never mislabel the result.
+func (e *Engine) serialPredict(tr *workload.Trace) (float64, int64) {
+	e.pred.mu.Lock()
+	defer e.pred.mu.Unlock()
+	return e.pred.predictTraceLocked(tr), e.weightGen.Load()
 }
 
 // cachePeek consults the engine's cache segment without recording a miss:
 // the dispatcher checks the home shard's cache before a saturation detour,
 // and the shard that finally serves the query accounts its own lookup.
-func (e *Engine) cachePeek(key string) (Prediction, bool) {
+func (e *Engine) cachePeek(key string) (Prediction, int64, bool) {
 	if e.cache == nil {
-		return Prediction{}, false
+		return Prediction{}, 0, false
 	}
 	return e.cache.Peek(key)
 }
 
 // cachePut lands a finished prediction in the engine's cache segment; the
 // dispatcher uses it to deposit detour results where future lookups for
-// the key will actually hash.
-func (e *Engine) cachePut(key string, p Prediction) {
+// the key will actually hash. The generation guard inside Put drops the
+// deposit if this segment has moved to a different weight generation than
+// the one the detour shard computed under.
+func (e *Engine) cachePut(key string, p Prediction, gen int64) {
 	if e.cache != nil {
-		e.cache.Put(key, p)
+		e.cache.Put(key, p, gen)
 	}
 }
 
@@ -304,6 +343,7 @@ func (e *Engine) flush(batch []*predictJob) {
 		wg.Wait()
 	}
 	e.pred.mu.Lock()
+	gen := e.weightGen.Load()
 	if fanOut {
 		for _, j := range uniq {
 			ce.AdoptEncoding(j.trace, j.enc)
@@ -321,7 +361,7 @@ func (e *Engine) flush(batch []*predictJob) {
 	e.coalesced.Add(int64(len(batch)))
 	atomic.AddInt64(&e.hist[bucketFor(len(uniq))], 1)
 	for i, j := range batch {
-		j.done <- out.Data[rows[i]]
+		j.done <- predictResult{y: out.Data[rows[i]], gen: gen}
 	}
 }
 
@@ -333,16 +373,18 @@ type Metrics struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheEntries int
-	Queued       int // jobs waiting in the queue at snapshot time
+	Queued       int   // jobs waiting in the queue at snapshot time
+	Generation   int64 // weight-bundle generation of the shard's replica
 }
 
 // Metrics returns a consistent-enough snapshot of the engine counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		Batches:   e.batches.Load(),
-		Coalesced: e.coalesced.Load(),
-		BatchHist: make(map[string]int64, len(batchBuckets)),
-		Queued:    len(e.jobs),
+		Batches:    e.batches.Load(),
+		Coalesced:  e.coalesced.Load(),
+		BatchHist:  make(map[string]int64, len(batchBuckets)),
+		Queued:     len(e.jobs),
+		Generation: e.weightGen.Load(),
 	}
 	for i, b := range batchBuckets {
 		if n := atomic.LoadInt64(&e.hist[i]); n > 0 {

@@ -15,11 +15,14 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,6 +82,13 @@ func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
 func (p *Predictor) predictTrace(tr *workload.Trace) float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.predictTraceLocked(tr)
+}
+
+// predictTraceLocked is the model round trip with p.mu already held; the
+// engine's serialised fallback calls it directly so it can read the shard's
+// weight generation under the same critical section as the model call.
+func (p *Predictor) predictTraceLocked(tr *workload.Trace) float64 {
 	p.Model.Prepare([]*workload.Trace{tr})
 	out := p.Model.Predict([]*workload.Trace{tr})
 	if ev, ok := p.Model.(evicter); ok {
@@ -106,6 +116,12 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
+	// WeightGeneration is the bundle generation of the last reload that
+	// completed on every shard; Reloads counts completed rolls. During a
+	// roll, per-shard generations briefly run one ahead of the aggregate.
+	WeightGeneration int64 `json:"weight_generation"`
+	Reloads          int64 `json:"reloads"`
+
 	Replicas int          `json:"replicas"`
 	Shards   []ShardStats `json:"shards"`
 
@@ -125,6 +141,7 @@ type ShardStats struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheEntries int     `json:"cache_entries"`
 	Queued       int     `json:"queued"`
+	Generation   int64   `json:"generation"`
 }
 
 // latencyRing retains the most recent request latencies (microseconds) for
@@ -181,6 +198,10 @@ type Server struct {
 	eng  *ShardedEngine
 	mux  *http.ServeMux
 
+	// reloadToken, when non-empty, is the bearer token required on
+	// POST /v1/reload; when empty, reload is restricted to loopback peers.
+	reloadToken string
+
 	requests int64
 	errors   int64
 	micros   int64
@@ -207,8 +228,14 @@ func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	return s
 }
+
+// SetReloadToken guards POST /v1/reload with a bearer token; callers from
+// any peer address may reload with the token. With no token set (the
+// default), reload is only accepted from loopback addresses.
+func (s *Server) SetReloadToken(token string) { s.reloadToken = token }
 
 // Engine exposes the underlying sharded dispatcher, e.g. for benchmarks.
 func (s *Server) Engine() *ShardedEngine { return s.eng }
@@ -252,15 +279,40 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// maxBodyBytes caps the request body of the SQL endpoints: a 1 MiB query is
+// already far past anything the planner accepts, and without a bound one
+// client streaming an endless body would pin a handler goroutine and its
+// buffer for as long as it pleases.
+const maxBodyBytes = 1 << 20
+
+// maxReloadBodyBytes caps the /v1/reload control body, which only ever
+// carries a file path.
+const maxReloadBodyBytes = 4 << 10
+
+// decodeJSONBody decodes a bounded JSON request body into v, mapping an
+// overflow to 413 and any other malformed body to 400.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	return 0, nil
+}
+
 // decodeSQL extracts the query from a request body, returning the HTTP
 // status to use on failure.
-func decodeSQL(r *http.Request) (string, int, error) {
+func decodeSQL(w http.ResponseWriter, r *http.Request) (string, int, error) {
 	if r.Method != http.MethodPost {
 		return "", http.StatusMethodNotAllowed, errors.New("method not allowed: use POST")
 	}
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return "", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	if code, err := decodeJSONBody(w, r, maxBodyBytes, &req); err != nil {
+		return "", code, err
 	}
 	if req.SQL == "" {
 		return "", http.StatusBadRequest, errors.New("missing field: sql")
@@ -279,21 +331,29 @@ func (s *Server) observe(start time.Time) {
 	s.lat.Add(d)
 }
 
+// predictResponse is a Prediction plus the weight generation that produced
+// it, so clients of a continuously retrained service can tell which bundle
+// answered.
+type predictResponse struct {
+	Prediction
+	Generation int64 `json:"generation"`
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	atomic.AddInt64(&s.requests, 1)
 	defer s.observe(start)
-	sql, code, err := decodeSQL(r)
+	sql, code, err := decodeSQL(w, r)
 	if err != nil {
 		s.fail(w, code, err)
 		return
 	}
-	pred, err := s.eng.PredictSQL(sql)
+	pred, gen, err := s.eng.PredictSQLGen(sql)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, pred)
+	writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Generation: gen})
 }
 
 // explainResponse carries the plan views of /v1/explain.
@@ -309,7 +369,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	atomic.AddInt64(&s.requests, 1)
 	defer s.observe(start)
-	sql, code, err := decodeSQL(r)
+	sql, code, err := decodeSQL(w, r)
 	if err != nil {
 		s.fail(w, code, err)
 		return
@@ -328,6 +388,91 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// reloadRequest is the JSON body of POST /v1/reload: the path of a weight
+// bundle written by the retraining job (`prestroidd -train`), readable by
+// the serving process.
+type reloadRequest struct {
+	Weights string `json:"weights"`
+}
+
+// reloadResponse reports a completed roll.
+type reloadResponse struct {
+	Generation int64   `json:"generation"`
+	Shards     int     `json:"shards"`
+	Millis     float64 `json:"millis"`
+}
+
+// authorizeReload enforces the admin guard on /v1/reload: with a token
+// configured, the request must carry it as a bearer credential; without
+// one, only loopback peers may reload. It returns the HTTP status to use on
+// rejection.
+func (s *Server) authorizeReload(r *http.Request) (int, error) {
+	if s.reloadToken != "" {
+		got := r.Header.Get("Authorization")
+		want := "Bearer " + s.reloadToken
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			return http.StatusUnauthorized, errors.New("missing or invalid reload token")
+		}
+		return 0, nil
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return http.StatusForbidden, errors.New("reload is restricted to loopback; start the server with a reload token to allow remote reloads")
+	}
+	return 0, nil
+}
+
+// handleReload is the admin endpoint that hot-swaps a retrained weight
+// bundle into the live replicas (see ShardedEngine.Reload for the quiesce
+// protocol and its guarantees). Admin traffic is deliberately kept out of
+// the serving counters: /v1/stats latencies and request totals describe
+// prediction traffic only.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed: use POST"})
+		return
+	}
+	if code, err := s.authorizeReload(r); err != nil {
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	var req reloadRequest
+	if code, err := decodeJSONBody(w, r, maxReloadBodyBytes, &req); err != nil {
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Weights == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing field: weights"})
+		return
+	}
+	f, err := os.Open(req.Weights)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("cannot open weight bundle: %v", err)})
+		return
+	}
+	defer f.Close()
+	gen, err := s.eng.Reload(f)
+	switch {
+	case errors.Is(err, ErrReloadInProgress):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// The bundle was rejected before any replica was touched.
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Generation: gen,
+		Shards:     s.eng.Shards(),
+		Millis:     float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
@@ -340,20 +485,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	em := aggregate(perShard)
 	pct := s.lat.Percentiles(0.50, 0.95, 0.99)
 	st := Stats{
-		Requests:     req,
-		Errors:       atomic.LoadInt64(&s.errors),
-		TotalMillis:  us / 1e3,
-		P50Millis:    pct[0],
-		P95Millis:    pct[1],
-		P99Millis:    pct[2],
-		Batches:      em.Batches,
-		BatchHist:    em.BatchHist,
-		CacheHits:    em.CacheHits,
-		CacheMisses:  em.CacheMisses,
-		CacheEntries: em.CacheEntries,
-		Replicas:     s.eng.Shards(),
-		ModelName:    s.pred.Model.Name(),
-		Params:       s.pred.Model.ParamCount(),
+		Requests:         req,
+		Errors:           atomic.LoadInt64(&s.errors),
+		TotalMillis:      us / 1e3,
+		P50Millis:        pct[0],
+		P95Millis:        pct[1],
+		P99Millis:        pct[2],
+		Batches:          em.Batches,
+		BatchHist:        em.BatchHist,
+		CacheHits:        em.CacheHits,
+		CacheMisses:      em.CacheMisses,
+		CacheEntries:     em.CacheEntries,
+		WeightGeneration: s.eng.Generation(),
+		Reloads:          s.eng.Reloads(),
+		Replicas:         s.eng.Shards(),
+		ModelName:        s.pred.Model.Name(),
+		Params:           s.pred.Model.ParamCount(),
 	}
 	if req > 0 {
 		st.AvgMillis = float64(us) / 1e3 / float64(req)
@@ -373,6 +520,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CacheMisses:  m.CacheMisses,
 			CacheEntries: m.CacheEntries,
 			Queued:       m.Queued,
+			Generation:   m.Generation,
 		}
 		if m.Batches > 0 {
 			sh.AvgBatchSize = float64(m.Coalesced) / float64(m.Batches)

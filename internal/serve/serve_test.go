@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -114,6 +115,23 @@ func TestPredictBadBody(t *testing.T) {
 	srv.ServeHTTP(w, req)
 	if w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET predict = %d", w.Code)
+	}
+}
+
+// TestPredictBodyTooLarge pins the request-body bound: a body past
+// maxBodyBytes is answered with 413, not buffered without limit, and does
+// not disturb later well-formed requests.
+func TestPredictBodyTooLarge(t *testing.T) {
+	srv := NewServerConfig(&Predictor{Model: &stubModel{}}, Config{MaxBatch: 1})
+	t.Cleanup(srv.Close)
+	big := `{"sql":"SELECT a FROM t WHERE a > ` + strings.Repeat("9", maxBodyBytes) + `"}`
+	for _, path := range []string{"/v1/predict", "/v1/explain"} {
+		if w := post(t, srv, path, big); w.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with %d-byte body = %d, want 413", path, len(big), w.Code)
+		}
+	}
+	if w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`); w.Code != http.StatusOK {
+		t.Fatalf("well-formed predict after oversized one = %d", w.Code)
 	}
 }
 

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"prestroid/internal/models"
 )
@@ -68,6 +70,15 @@ func Replicas(pred *Predictor, n int) []*Predictor {
 // duplicate cache entry.
 type ShardedEngine struct {
 	shards []*Engine
+
+	// reloadMu serialises weight rolls: at most one bundle is ever in
+	// flight, so at any instant shards carry at most two generations (the
+	// outgoing and the incoming one).
+	reloadMu sync.Mutex
+	// generation is the bundle generation of the last reload that completed
+	// on every shard; during a roll individual shards run ahead of it.
+	generation atomic.Int64
+	reloads    atomic.Int64
 }
 
 // NewShardedEngine starts one batcher per predictor (typically built with
@@ -83,6 +94,7 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 		per.CacheSize = (cfg.CacheSize + len(preds) - 1) / len(preds)
 	}
 	se := &ShardedEngine{shards: make([]*Engine, len(preds))}
+	se.generation.Store(initialGeneration)
 	for i, p := range preds {
 		se.shards[i] = NewEngine(p, per)
 	}
@@ -92,10 +104,18 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 // Shards reports the live shard count (the effective replica count).
 func (se *ShardedEngine) Shards() int { return len(se.shards) }
 
-// Close flushes and stops every shard's batcher. Like Engine.Close it is
-// idempotent, and queries arriving afterwards fall back to each shard's
-// serialised path.
+// Close quiesces every shard — no new dispatcher traffic is admitted
+// anywhere before the first queue starts draining — then flushes and stops
+// each batcher. It waits out any in-flight reload first (holding reloadMu):
+// otherwise the roll's deferred endQuiesce would re-admit a closed shard to
+// dispatch. Like Engine.Close it is idempotent, and queries arriving
+// afterwards fall back to each shard's serialised path.
 func (se *ShardedEngine) Close() {
+	se.reloadMu.Lock()
+	defer se.reloadMu.Unlock()
+	for _, sh := range se.shards {
+		sh.beginQuiesce()
+	}
 	for _, sh := range se.shards {
 		sh.Close()
 	}
@@ -113,17 +133,28 @@ func (se *ShardedEngine) shardOf(key string) int {
 	return int(h % uint32(len(se.shards)))
 }
 
-// pick resolves dispatch for a home shard: home itself, or — when its
-// queue is saturated — the least-loaded shard, so one hot hash bucket
-// cannot stall while other replicas sit idle.
+// pick resolves dispatch for a home shard: home itself, or — when its queue
+// is saturated or it is quiescing for a weight swap — the least-loaded
+// other shard, so one hot hash bucket cannot stall while other replicas sit
+// idle. Detour candidates must carry the same weight generation as home and
+// not be quiescing themselves: during a reload roll shards briefly disagree
+// on weights, and rerouting across generations would let one canonical key
+// bounce between old- and new-weight answers. When no candidate qualifies
+// (e.g. the last un-swapped shard quiescing), home keeps its traffic — a
+// quiescing shard still answers, just without new dispatcher load.
 func (se *ShardedEngine) pick(home *Engine) *Engine {
-	if len(se.shards) == 1 || !home.saturated() {
+	if len(se.shards) == 1 || (!home.saturated() && !home.quiescing.Load()) {
 		return home
 	}
+	gen := home.weightGen.Load()
 	best := home
+	bestQueued := -1
 	for _, sh := range se.shards {
-		if sh.queued() < best.queued() {
-			best = sh
+		if sh == home || sh.quiescing.Load() || sh.weightGen.Load() != gen {
+			continue
+		}
+		if q := sh.queued(); bestQueued < 0 || q < bestQueued {
+			best, bestQueued = sh, q
 		}
 	}
 	return best
@@ -134,6 +165,21 @@ func (se *ShardedEngine) pick(home *Engine) *Engine {
 // over: identical SQL yields byte-identical predictions regardless of
 // replica count or which shard answered.
 func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
+	p, _, err := se.PredictSQLGen(sql)
+	return p, err
+}
+
+// PredictSQLGen is PredictSQL plus the weight generation that produced the
+// answer. Generations are monotone per canonical key for any single
+// observer: once a caller has received generation g for a key, every
+// request it *starts afterwards* for that key is served from weights (or
+// cache entries) of generation >= g — shard generations only advance, the
+// dispatcher only detours between same-generation shards, and cache
+// segments drop cross-generation deposits. Responses of concurrent
+// requests may still complete out of order (a detour queued behind a slow
+// peer can finish after the roll), so the guarantee is happens-before
+// monotonicity, not global completion-order monotonicity.
+func (se *ShardedEngine) PredictSQLGen(sql string) (Prediction, int64, error) {
 	key := CanonicalSQL(sql)
 	home := se.shards[se.shardOf(key)]
 	sh := se.pick(home)
@@ -144,17 +190,18 @@ func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
 	// queue, so a cached answer is still the cheapest path — without this
 	// check, hot templates would be recomputed on another shard exactly
 	// when the service is overloaded.
-	if p, ok := home.cachePeek(key); ok {
-		return p, nil
+	if p, g, ok := home.cachePeek(key); ok {
+		return p, g, nil
 	}
-	p, err := sh.predictKey(sql, key)
+	p, g, err := sh.predictKey(sql, key)
 	if err == nil {
 		// Deposit the result where future lookups will hash: an entry
 		// stranded only on the detour shard is unreachable once the home
-		// queue drains.
-		home.cachePut(key, p)
+		// queue drains. The home segment drops the deposit if its
+		// generation moved between pick and completion.
+		home.cachePut(key, p, g)
 	}
-	return p, err
+	return p, g, err
 }
 
 // aggregate sums per-shard snapshots into one Metrics. Callers that report
@@ -163,13 +210,19 @@ func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
 // traffic.
 func aggregate(per []Metrics) Metrics {
 	agg := Metrics{BatchHist: make(map[string]int64, len(batchBuckets))}
-	for _, m := range per {
+	for i, m := range per {
 		agg.Batches += m.Batches
 		agg.Coalesced += m.Coalesced
 		agg.CacheHits += m.CacheHits
 		agg.CacheMisses += m.CacheMisses
 		agg.CacheEntries += m.CacheEntries
 		agg.Queued += m.Queued
+		// Generation aggregates as the minimum: the oldest weights still
+		// serving anywhere, so the aggregate only advances when a roll has
+		// reached every shard.
+		if i == 0 || m.Generation < agg.Generation {
+			agg.Generation = m.Generation
+		}
 		for k, v := range m.BatchHist {
 			agg.BatchHist[k] += v
 		}

@@ -157,13 +157,13 @@ func TestShardedSaturationFallback(t *testing.T) {
 // and have no model, so any path other than the home cache hit would hang
 // or panic.
 func TestShardedDetourChecksHomeCache(t *testing.T) {
-	home := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4)}
-	other := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4)}
+	home := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4, 0)}
+	other := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4, 0)}
 	se := &ShardedEngine{shards: []*Engine{home, other}}
 
 	sql := keyForShard(t, se, 0)
 	want := Prediction{CPUMinutes: 42, Normalized: 0.5, PlanNodes: 3}
-	home.cache.Put(CanonicalSQL(sql), want)
+	home.cache.Put(CanonicalSQL(sql), want, 0)
 	home.jobs <- &predictJob{} // saturate the home shard
 
 	got, err := se.PredictSQL(sql)
