@@ -1,16 +1,26 @@
 // Command prestroidd runs the Fig-1 inference service: it either loads a
-// previously trained pipeline + weight bundle (written by `prestroidd
-// -train`) or trains a fresh model on a synthetic workload, then serves
-// cost predictions over HTTP.
+// previously trained bundle (written by `prestroidd -train`) or trains a
+// fresh model on a synthetic workload, then serves cost predictions over
+// HTTP.
 //
-//	prestroidd -train -pipeline pipe.bin -weights model.bin   # train & save
-//	prestroidd -pipeline pipe.bin -weights model.bin          # load & serve
+//	prestroidd -train -bundle model.full                      # train & save full bundle
+//	prestroidd -train -pipeline pipe.bin -weights model.bin   # train & save split bundles
+//	prestroidd -bundle model.full                             # load & serve
+//	prestroidd -pipeline pipe.bin -weights model.bin          # load & serve (split)
 //	prestroidd                                                # train in-memory & serve
 //
+// A full bundle carries the whole predictor identity — feature pipeline,
+// label normaliser and weights — in one artefact; the split form keeps the
+// pipeline and weights in separate files and reconstructs the normaliser
+// from the deterministic training workload.
+//
 // Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
-// GET /healthz, and the admin endpoint POST /v1/reload {"weights": path},
-// which hot-swaps a retrained weight bundle into the live replicas without
-// dropping traffic (guarded by -reload-token, or loopback-only when unset).
+// GET /healthz, and the admin endpoint POST /v1/reload, which hot-swaps a
+// retrained bundle into the live replicas without dropping traffic (guarded
+// by -reload-token, or loopback-only when unset): {"weights": path} rolls
+// new weights into the existing replicas, {"bundle": path} rolls a full
+// bundle — including a pipeline with a different feature-table universe —
+// by swapping in fresh replicas.
 //
 // Inference runs through the sharded batched engine: -replicas sets how
 // many model replicas (each with its own batcher goroutine and cache
@@ -48,7 +58,9 @@ func main() {
 	doTrain := flag.Bool("train", false, "train and save instead of serving")
 	pipePath := flag.String("pipeline", "", "pipeline bundle path")
 	weightPath := flag.String("weights", "", "weight bundle path")
+	bundlePath := flag.String("bundle", "", "full bundle path (pipeline + normaliser + weights in one artefact)")
 	queries := flag.Int("queries", 600, "synthetic training queries")
+	tables := flag.Int("tables", 0, "initial tables in the synthetic training catalog (0 = generator default); larger values grow the feature-table universe")
 	defaults := serve.DefaultConfig()
 	maxBatch := flag.Int("max-batch", defaults.MaxBatch, "max queries coalesced into one model batch (<=1 disables batching)")
 	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
@@ -58,9 +70,16 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize, Replicas: *replicas}
-	if err := run(*addr, *doTrain, *pipePath, *weightPath, *queries, cfg, *reloadToken); err != nil {
+	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, full: *bundlePath}
+	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken); err != nil {
 		log.Fatal("prestroidd: ", err)
 	}
+}
+
+// bundlePaths names the on-disk artefacts of one trained predictor: either a
+// single full bundle, or the split pipeline + weights pair, or both.
+type bundlePaths struct {
+	pipe, weights, full string
 }
 
 // modelConfig is the fixed serving architecture; persisted weights must
@@ -73,20 +92,29 @@ func modelConfig() models.PrestroidConfig {
 	return cfg
 }
 
-func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cfg serve.Config, reloadToken string) error {
+func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg serve.Config, reloadToken string) error {
 	var pred *serve.Predictor
 	switch {
 	case doTrain:
-		return trainAndSave(pipePath, weightPath, queries)
-	case pipePath != "" && weightPath != "":
-		p, err := loadPredictor(pipePath, weightPath, queries)
+		return trainAndSave(paths, queries, tables)
+	case paths.full != "" && (paths.pipe != "" || paths.weights != ""):
+		// Refuse rather than silently pick one artefact form over the other.
+		return fmt.Errorf("give either -bundle or the -pipeline/-weights pair, not both")
+	case paths.full != "":
+		p, err := loadBundlePredictor(paths.full)
+		if err != nil {
+			return err
+		}
+		pred = p
+	case paths.pipe != "" && paths.weights != "":
+		p, err := loadPredictor(paths.pipe, paths.weights, queries, tables)
 		if err != nil {
 			return err
 		}
 		pred = p
 	default:
 		log.Printf("no bundle paths given; training a fresh model on %d synthetic queries", queries)
-		p, err := freshPredictor(queries)
+		p, err := freshPredictor(queries, tables)
 		if err != nil {
 			return err
 		}
@@ -130,10 +158,15 @@ func run(addr string, doTrain bool, pipePath, weightPath string, queries int, cf
 	}
 }
 
-// buildTraining generates the workload and trains the serving model.
-func buildTraining(queries int) (*models.Pipeline, *models.Prestroid, workload.Normalizer, error) {
+// buildTraining generates the workload and trains the serving model. tables
+// > 0 overrides the generator's initial catalog size, growing (or shrinking)
+// the feature-table universe the pipeline is fit over.
+func buildTraining(queries, tables int) (*models.Pipeline, *models.Prestroid, workload.Normalizer, error) {
 	cfg := workload.DefaultGrabConfig()
 	cfg.Queries = queries
+	if tables > 0 {
+		cfg.InitialTables = tables
+	}
 	traces := workload.NewGrabGenerator(cfg).Generate()
 	if len(traces) < queries/2 {
 		return nil, nil, workload.Normalizer{}, fmt.Errorf("workload generation starved: %d traces", len(traces))
@@ -149,18 +182,39 @@ func buildTraining(queries int) (*models.Pipeline, *models.Prestroid, workload.N
 	tcfg.Patience = 5
 	res := train.Run(m, split, norm, tcfg)
 	log.Printf("trained %s: best epoch %d, test MSE %.1f min²", m.Name(), res.BestEpoch, res.TestMSE)
+	log.Printf("pipeline feature dim %d over %d tables", pipe.Enc.FeatureDim(), pipe.Enc.NumTables)
 	return pipe, m, norm, nil
 }
 
-func trainAndSave(pipePath, weightPath string, queries int) error {
-	if pipePath == "" || weightPath == "" {
-		return fmt.Errorf("-train requires -pipeline and -weights output paths")
+func trainAndSave(paths bundlePaths, queries, tables int) error {
+	split := paths.pipe != "" && paths.weights != ""
+	if paths.full == "" && !split {
+		return fmt.Errorf("-train requires -bundle, or both -pipeline and -weights, as output paths")
 	}
-	pipe, m, norm, err := buildTraining(queries)
+	if !split && (paths.pipe != "" || paths.weights != "") {
+		// A lone half of the split pair would be silently dropped otherwise.
+		return fmt.Errorf("-pipeline and -weights must be given together (got one of the two)")
+	}
+	pipe, m, norm, err := buildTraining(queries, tables)
 	if err != nil {
 		return err
 	}
-	pf, err := os.Create(pipePath)
+	if paths.full != "" {
+		bf, err := os.Create(paths.full)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		if err := persist.SaveFullBundle(bf, pipe, norm, m); err != nil {
+			return err
+		}
+		log.Printf("saved full bundle to %s (normaliser: logmin=%.4f logmax=%.4f)",
+			paths.full, norm.LogMin, norm.LogMax)
+	}
+	if !split {
+		return nil
+	}
+	pf, err := os.Create(paths.pipe)
 	if err != nil {
 		return err
 	}
@@ -168,7 +222,7 @@ func trainAndSave(pipePath, weightPath string, queries int) error {
 	if err := persist.SavePipeline(pf, pipe); err != nil {
 		return err
 	}
-	wf, err := os.Create(weightPath)
+	wf, err := os.Create(paths.weights)
 	if err != nil {
 		return err
 	}
@@ -178,11 +232,33 @@ func trainAndSave(pipePath, weightPath string, queries int) error {
 	}
 	// The normaliser is tiny; record it next to the weights for operators.
 	log.Printf("saved pipeline to %s and weights to %s (normaliser: logmin=%.4f logmax=%.4f)",
-		pipePath, weightPath, norm.LogMin, norm.LogMax)
+		paths.pipe, paths.weights, norm.LogMin, norm.LogMax)
 	return nil
 }
 
-func loadPredictor(pipePath, weightPath string, queries int) (*serve.Predictor, error) {
+// loadBundlePredictor reconstructs the whole predictor identity from one
+// full bundle: the pipeline decides the model's feature dimension, the
+// weight section is shape-validated against the model built off that
+// pipeline, and the normaliser ships in the bundle instead of being
+// re-derived from the training workload.
+func loadBundlePredictor(path string) (*serve.Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fb, err := persist.DecodeFullBundle(f)
+	if err != nil {
+		return nil, err
+	}
+	m := models.NewPrestroid(modelConfig(), fb.Pipeline())
+	if err := fb.Weights().Apply(m); err != nil {
+		return nil, err
+	}
+	return &serve.Predictor{Model: m, Pipe: fb.Pipeline(), Norm: fb.Norm()}, nil
+}
+
+func loadPredictor(pipePath, weightPath string, queries, tables int) (*serve.Predictor, error) {
 	pf, err := os.Open(pipePath)
 	if err != nil {
 		return nil, err
@@ -202,22 +278,27 @@ func loadPredictor(pipePath, weightPath string, queries int) (*serve.Predictor, 
 		return nil, err
 	}
 	// Rebuild the normaliser the same deterministic way training did.
-	norm := rebuildNormalizer(queries)
+	norm := rebuildNormalizer(queries, tables)
 	return &serve.Predictor{Model: m, Pipe: pipe, Norm: norm}, nil
 }
 
 // rebuildNormalizer regenerates the training workload's normaliser (the
-// generators are deterministic, so this reproduces training-time bounds).
-func rebuildNormalizer(queries int) workload.Normalizer {
+// generators are deterministic, so this reproduces training-time bounds —
+// provided the caller passes the same -queries and -tables values training
+// used; a full bundle sidesteps the requirement by shipping the normaliser).
+func rebuildNormalizer(queries, tables int) workload.Normalizer {
 	cfg := workload.DefaultGrabConfig()
 	cfg.Queries = queries
+	if tables > 0 {
+		cfg.InitialTables = tables
+	}
 	traces := workload.NewGrabGenerator(cfg).Generate()
 	split := dataset.SplitRandom(traces, 1)
 	return workload.FitNormalizer(split.Train)
 }
 
-func freshPredictor(queries int) (*serve.Predictor, error) {
-	pipe, m, norm, err := buildTraining(queries)
+func freshPredictor(queries, tables int) (*serve.Predictor, error) {
+	pipe, m, norm, err := buildTraining(queries, tables)
 	if err != nil {
 		return nil, err
 	}

@@ -83,6 +83,21 @@ type WeightSwapper interface {
 	SwapWeightsFrom(src Model) error
 }
 
+// PipelineRebuilder is the optional full-identity hot-reload extension, one
+// step beyond WeightSwapper: RebuildWithPipeline constructs a fresh,
+// freshly-initialised model of the same architecture family and
+// hyperparameters over a different feature pipeline. Because the pipeline
+// decides the per-node feature width, the rebuilt model's parameter shapes
+// follow the new pipeline, not the receiver's — so a retrain that grew the
+// table universe can ship as a (pipeline, weights) pair: rebuild off the new
+// pipeline, then apply the shipped weights to the rebuilt model, whose shape
+// validation is the feature-dim check. The receiver is never mutated; shared
+// serving resources (the forward-worker semaphore) carry over to the rebuilt
+// model and its clones.
+type PipelineRebuilder interface {
+	RebuildWithPipeline(pipe *Pipeline) (Model, error)
+}
+
 // PipelineConfig configures the shared feature pipeline.
 type PipelineConfig struct {
 	Pf       int // Word2Vec feature size

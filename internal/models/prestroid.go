@@ -404,6 +404,23 @@ func (m *Prestroid) Clone() Model {
 	return c
 }
 
+// RebuildWithPipeline implements the PipelineRebuilder extension: it
+// constructs a fresh Prestroid with the receiver's architecture config over
+// pipe, whose feature dimension — not the receiver's — decides the conv
+// parameter shapes. Weights start freshly initialised (the caller installs
+// the retrained bundle's tensors afterwards, which is where a pipeline/weight
+// mismatch is caught), the encoding cache starts empty, and the forward-
+// worker semaphore is shared so the rebuilt model's clones keep dividing the
+// same cores as the replicas they replace.
+func (m *Prestroid) RebuildWithPipeline(pipe *Pipeline) (Model, error) {
+	if pipe == nil || pipe.Enc == nil {
+		return nil, fmt.Errorf("models: rebuild needs a pipeline with an encoder")
+	}
+	c := NewPrestroid(m.cfg, pipe)
+	c.sem = m.sem
+	return c, nil
+}
+
 // CopyWeightsFrom overwrites the model's trainable parameters and
 // non-trainable layer state with src's, validating tensor count and shapes
 // the same way persist.LoadWeights validates an on-disk bundle. It is the

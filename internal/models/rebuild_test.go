@@ -1,0 +1,105 @@
+package models
+
+import (
+	"testing"
+
+	"prestroid/internal/otp"
+)
+
+// grownPipeline derives a pipeline over a strictly larger table universe,
+// sharing the testbed's Word2Vec model — the shape of pipeline a daily
+// retrain produces when the catalog has grown.
+func grownPipeline(t *testing.T, pipe *Pipeline, extra ...string) *Pipeline {
+	t.Helper()
+	tables := make([]string, 0, len(pipe.Enc.TableIndex)+len(extra))
+	for tbl := range pipe.Enc.TableIndex {
+		tables = append(tables, tbl)
+	}
+	tables = append(tables, extra...)
+	enc := otp.NewEncoder(tables, pipe.W2V)
+	enc.MeanPooling = pipe.Enc.MeanPooling
+	enc.HashedPredicates = pipe.Enc.HashedPredicates
+	grown := &Pipeline{W2V: pipe.W2V, Enc: enc}
+	if grown.Enc.FeatureDim() <= pipe.Enc.FeatureDim() {
+		t.Fatalf("grown pipeline feature dim %d did not exceed %d",
+			grown.Enc.FeatureDim(), pipe.Enc.FeatureDim())
+	}
+	return grown
+}
+
+// TestRebuildWithPipeline pins the full-identity reload hook: the rebuilt
+// model follows the new pipeline's feature dimension (so its parameter count
+// differs), predicts without touching the receiver, and weights from another
+// model of the rebuilt architecture install bit-identically — the
+// (pipeline, weights) pairing a full-bundle roll performs.
+func TestRebuildWithPipeline(t *testing.T) {
+	b := bed(t)
+	src := clonePrestroid(t, b)
+	grown := grownPipeline(t, b.pipe, "rebuild_extra_table")
+
+	rebuilt, err := src.RebuildWithPipeline(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := rebuilt.(*Prestroid)
+	if rp.ParamCount() <= src.ParamCount() {
+		t.Fatalf("rebuilt model has %d params, source %d; a wider feature dim must grow the conv stack",
+			rp.ParamCount(), src.ParamCount())
+	}
+
+	// The receiver is untouched: same params, predictions unchanged.
+	traces := b.split.Test[:8]
+	before := append([]float64(nil), src.Predict(traces).Data...)
+	rp.Prepare(traces)
+	if out := rp.Predict(traces); len(out.Data) != len(traces) {
+		t.Fatalf("rebuilt model predict returned %d rows", len(out.Data))
+	}
+	after := src.Predict(traces)
+	for i := range before {
+		if after.Data[i] != before[i] {
+			t.Fatalf("trace %d: source prediction drifted after rebuild: %v vs %v",
+				i, after.Data[i], before[i])
+		}
+	}
+
+	// A "retrained" model of the rebuilt architecture transfers exactly:
+	// rebuild off the same pipeline + CopyWeightsFrom = bit-identical, the
+	// staging sequence ReloadBundle runs.
+	retrained := NewPrestroid(rp.cfg, grown)
+	retrained.Prepare(traces)
+	if err := rp.CopyWeightsFrom(retrained); err != nil {
+		t.Fatal(err)
+	}
+	want := retrained.Predict(traces)
+	got := rp.Predict(traces)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("trace %d: rebuilt+copied model predicts %v, reference %v",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// Weights from the *old* architecture must be refused — the feature-dim
+	// guard a full-bundle roll relies on.
+	if err := rp.CopyWeightsFrom(src); err == nil {
+		t.Fatal("rebuilt model accepted weights of the old feature width")
+	}
+
+	// Clones of the rebuilt model share the new pipeline and stay
+	// bit-identical — the replica fan-out of a full-bundle roll.
+	cl := rp.Clone().(*Prestroid)
+	if cl.pipe != rp.pipe {
+		t.Fatal("clone of rebuilt model does not share the new pipeline")
+	}
+	cw := cl.Predict(traces)
+	for i := range want.Data {
+		if cw.Data[i] != want.Data[i] {
+			t.Fatalf("trace %d: clone of rebuilt model diverged", i)
+		}
+	}
+
+	// A pipeline without an encoder is refused.
+	if _, err := src.RebuildWithPipeline(&Pipeline{}); err == nil {
+		t.Fatal("rebuild accepted a pipeline without an encoder")
+	}
+}

@@ -41,11 +41,12 @@ type StateStore interface {
 	StateTensors() []*tensor.Tensor
 }
 
-// SaveWeights writes the model's parameters (and layer state, if any) to w.
-func SaveWeights(w io.Writer, m WeightStore) error {
-	params := m.Weights()
+// newWeightBundle captures a model's parameters and layer state; the
+// full-bundle envelope embeds the same representation SaveWeights writes
+// standalone.
+func newWeightBundle(m WeightStore) weightBundle {
 	b := weightBundle{Version: formatVersion}
-	for _, p := range params {
+	for _, p := range m.Weights() {
 		b.Names = append(b.Names, p.Name)
 		shape := append([]int(nil), p.W.Shape...)
 		b.Shapes = append(b.Shapes, shape)
@@ -56,6 +57,12 @@ func SaveWeights(w io.Writer, m WeightStore) error {
 			b.State = append(b.State, append([]float64(nil), st.Data...))
 		}
 	}
+	return b
+}
+
+// SaveWeights writes the model's parameters (and layer state, if any) to w.
+func SaveWeights(w io.Writer, m WeightStore) error {
+	b := newWeightBundle(m)
 	return gob.NewEncoder(w).Encode(&b)
 }
 

@@ -20,21 +20,42 @@ type pipelineBundle struct {
 	HashedPredicates bool
 }
 
-// SavePipeline writes the shared feature pipeline (Word2Vec vectors, table
-// universe, encoder flags) to w.
-func SavePipeline(w io.Writer, p *models.Pipeline) error {
+// newPipelineBundle captures a pipeline's persistent state; the full-bundle
+// envelope embeds the same representation SavePipeline writes standalone.
+func newPipelineBundle(p *models.Pipeline) pipelineBundle {
 	tables := make([]string, 0, len(p.Enc.TableIndex))
 	for t := range p.Enc.TableIndex {
 		tables = append(tables, t)
 	}
 	sort.Strings(tables)
-	b := pipelineBundle{
+	return pipelineBundle{
 		Version:          formatVersion,
 		W2V:              p.W2V.Snapshot(),
 		Tables:           tables,
 		MeanPooling:      p.Enc.MeanPooling,
 		HashedPredicates: p.Enc.HashedPredicates,
 	}
+}
+
+// pipelineFromBundle reconstructs a pipeline from its persisted form.
+func pipelineFromBundle(b *pipelineBundle) (*models.Pipeline, error) {
+	if b.Version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported pipeline version %d", b.Version)
+	}
+	if b.W2V == nil {
+		return nil, fmt.Errorf("persist: pipeline section carries no Word2Vec snapshot")
+	}
+	w2v := word2vec.FromSnapshot(b.W2V)
+	enc := otp.NewEncoder(b.Tables, w2v)
+	enc.MeanPooling = b.MeanPooling
+	enc.HashedPredicates = b.HashedPredicates
+	return &models.Pipeline{W2V: w2v, Enc: enc}, nil
+}
+
+// SavePipeline writes the shared feature pipeline (Word2Vec vectors, table
+// universe, encoder flags) to w.
+func SavePipeline(w io.Writer, p *models.Pipeline) error {
+	b := newPipelineBundle(p)
 	return gob.NewEncoder(w).Encode(&b)
 }
 
@@ -45,12 +66,5 @@ func LoadPipeline(r io.Reader) (*models.Pipeline, error) {
 	if err := gob.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("persist: decode pipeline: %w", err)
 	}
-	if b.Version != formatVersion {
-		return nil, fmt.Errorf("persist: unsupported pipeline version %d", b.Version)
-	}
-	w2v := word2vec.FromSnapshot(b.W2V)
-	enc := otp.NewEncoder(b.Tables, w2v)
-	enc.MeanPooling = b.MeanPooling
-	enc.HashedPredicates = b.HashedPredicates
-	return &models.Pipeline{W2V: w2v, Enc: enc}, nil
+	return pipelineFromBundle(&b)
 }

@@ -65,11 +65,15 @@ type concurrentEncoder interface {
 }
 
 // predictResult is the batcher's answer to one job: the normalised
-// prediction and the weight generation of the model that computed it, read
-// under the same lock as the model call so the tag is always truthful.
+// prediction, the generation of the predictor identity that computed it, and
+// that identity's label normaliser — all read under the same lock as the
+// model call, so the tag is always truthful and the caller denormalises with
+// the normaliser that belongs to the weights that ran, never the one a
+// concurrent full-bundle roll just installed.
 type predictResult struct {
-	y   float64
-	gen int64
+	y    float64
+	gen  int64
+	norm workload.Normalizer
 }
 
 // predictJob is one in-flight query travelling from an HTTP handler
@@ -185,9 +189,9 @@ func (e *Engine) predictKey(sql, key string) (Prediction, int64, error) {
 		return Prediction{}, 0, fmt.Errorf("parse: %w", err)
 	}
 	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	y, gen := e.submit(tr, key)
+	y, gen, norm := e.submit(tr, key)
 	p := Prediction{
-		CPUMinutes: e.pred.Norm.Denormalize(y),
+		CPUMinutes: norm.Denormalize(y),
 		Normalized: y,
 		PlanNodes:  plan.NodeCount(),
 		PlanDepth:  plan.MaxDepth(),
@@ -202,7 +206,7 @@ func (e *Engine) predictKey(sql, key string) (Prediction, int64, error) {
 // submit enqueues a planned trace and blocks for its prediction. When the
 // queue is saturated or the engine is closed it degrades to the serialised
 // single-query path instead of blocking or failing.
-func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64) {
+func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64, workload.Normalizer) {
 	e.mu.RLock()
 	if !e.closed {
 		job := &predictJob{trace: tr, key: key, done: make(chan predictResult, 1)}
@@ -210,7 +214,7 @@ func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64) {
 		case e.jobs <- job:
 			e.mu.RUnlock()
 			res := <-job.done
-			return res.y, res.gen
+			return res.y, res.gen, res.norm
 		default:
 		}
 	}
@@ -219,12 +223,12 @@ func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64) {
 }
 
 // serialPredict is the engine's serialised fallback: one model round trip
-// under the predictor lock, with the weight generation read under that same
-// lock so a concurrent hot-swap can never mislabel the result.
-func (e *Engine) serialPredict(tr *workload.Trace) (float64, int64) {
+// under the predictor lock, with the generation and normaliser read under
+// that same lock so a concurrent hot-swap can never mislabel the result.
+func (e *Engine) serialPredict(tr *workload.Trace) (float64, int64, workload.Normalizer) {
 	e.pred.mu.Lock()
 	defer e.pred.mu.Unlock()
-	return e.pred.predictTraceLocked(tr), e.weightGen.Load()
+	return e.pred.predictTraceLocked(tr), e.weightGen.Load(), e.pred.Norm
 }
 
 // cachePeek consults the engine's cache segment without recording a miss:
@@ -329,7 +333,13 @@ func (e *Engine) flush(batch []*predictJob) {
 	for i, j := range uniq {
 		traces[i] = j.trace
 	}
-	ce, fanOut := e.pred.Model.(concurrentEncoder)
+	// The encode fan-out is pure and runs outside the lock, but the model it
+	// encodes against must be pinned: a full-bundle roll can replace the
+	// replica (and its pipeline) between here and the locked section below.
+	e.pred.mu.Lock()
+	encModel := e.pred.Model
+	e.pred.mu.Unlock()
+	ce, fanOut := encModel.(concurrentEncoder)
 	fanOut = fanOut && len(uniq) > 1
 	if fanOut {
 		var wg sync.WaitGroup
@@ -344,15 +354,22 @@ func (e *Engine) flush(batch []*predictJob) {
 	}
 	e.pred.mu.Lock()
 	gen := e.weightGen.Load()
-	if fanOut {
+	norm := e.pred.Norm
+	m := e.pred.Model
+	// If a replica swap landed between the encode fan-out and this critical
+	// section, the pre-computed encodings belong to the old pipeline: discard
+	// them and let the new model prepare (re-encode) the batch itself, so the
+	// outputs — and the generation tag read above — are entirely the new
+	// identity's.
+	if fanOut && m == encModel {
 		for _, j := range uniq {
 			ce.AdoptEncoding(j.trace, j.enc)
 		}
 	} else {
-		e.pred.Model.Prepare(traces)
+		m.Prepare(traces)
 	}
-	out := e.pred.Model.Predict(traces)
-	if ev, ok := e.pred.Model.(evicter); ok {
+	out := m.Predict(traces)
+	if ev, ok := m.(evicter); ok {
 		ev.Evict(traces)
 	}
 	e.pred.mu.Unlock()
@@ -361,7 +378,7 @@ func (e *Engine) flush(batch []*predictJob) {
 	e.coalesced.Add(int64(len(batch)))
 	atomic.AddInt64(&e.hist[bucketFor(len(uniq))], 1)
 	for i, j := range batch {
-		j.done <- predictResult{y: out.Data[rows[i]], gen: gen}
+		j.done <- predictResult{y: out.Data[rows[i]], gen: gen, norm: norm}
 	}
 }
 

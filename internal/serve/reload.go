@@ -8,11 +8,16 @@ import (
 
 	"prestroid/internal/models"
 	"prestroid/internal/persist"
+	"prestroid/internal/workload"
 )
 
-// initialGeneration is the weight generation every shard starts at: the
-// bundle (or in-process training run) the engine was built from is
-// generation 1, and each completed reload advances it by one.
+// initialGeneration is the generation every shard starts at: the bundle (or
+// in-process training run) the engine was built from is generation 1, and
+// each completed reload — weight-only or full-bundle — advances it by one.
+// The counter covers the full predictor identity (pipeline, normaliser,
+// weights): a full-bundle roll that replaces all three and a weight-only
+// roll that replaces one share the same monotone sequence, so "generation g"
+// always names exactly one (pipeline, normaliser, weights) triple.
 const initialGeneration = 1
 
 // drainTimeout bounds how long a quiescing shard waits for its queue to
@@ -25,8 +30,11 @@ const initialGeneration = 1
 const drainTimeout = 2 * time.Second
 
 // ErrReloadInProgress is returned when a reload is requested while another
-// bundle is still rolling across the shards.
-var ErrReloadInProgress = errors.New("serve: a weight reload is already in progress")
+// bundle — weight-only or full — is still rolling across the shards. One
+// roll machinery serves both paths: a shard quiesced for a replica swap is
+// mid-roll, and an interleaved weight-only roll against it must be refused,
+// not layered on top.
+var ErrReloadInProgress = errors.New("serve: a reload is already in progress")
 
 // beginQuiesce stops the dispatcher from routing new work to this shard;
 // requests already holding a reference still complete, tagged with whatever
@@ -79,6 +87,30 @@ func (e *Engine) swapWeights(src models.Model, gen int64) error {
 	return nil
 }
 
+// swapReplica runs the same quiesce/drain/swap/resume protocol as
+// swapWeights, but replaces the shard's whole predictor identity — model
+// replica, feature pipeline and label normaliser — instead of copying
+// weights into the live replica. This is the ownership-model shift a
+// full-bundle reload needs: the shard's model pointer is no longer stable
+// for the process lifetime, which is why every consumer of e.pred resolves
+// the fields under pred.mu (see flush, serialPredict, predictTrace,
+// ModelInfo). The replica handed in must be exclusively the shard's: it is
+// mutated by every model call from here on.
+func (e *Engine) swapReplica(m models.Model, pipe *models.Pipeline, norm workload.Normalizer, gen int64) {
+	e.beginQuiesce()
+	defer e.endQuiesce()
+	e.drainQueue(drainTimeout)
+	e.pred.mu.Lock()
+	defer e.pred.mu.Unlock()
+	e.pred.Model = m
+	e.pred.Pipe = pipe
+	e.pred.Norm = norm
+	e.weightGen.Store(gen)
+	if e.cache != nil {
+		e.cache.Invalidate(gen)
+	}
+}
+
 // Reload installs a retrained weight bundle into every live replica without
 // stopping the service. The bundle is decoded and shape-validated exactly
 // once, against a staging clone of the live model, before any shard is
@@ -127,8 +159,91 @@ func (se *ShardedEngine) Reload(r io.Reader) (int64, error) {
 	return gen, nil
 }
 
-// Generation reports the weight-bundle generation of the last reload that
-// completed on every shard (1 = the weights the engine was built with).
+// ReloadBundle installs a complete retrained predictor identity — feature
+// pipeline, label normaliser and weights — into every live shard without
+// stopping the service. Where Reload copies weights into the existing
+// replicas (and therefore requires the feature dimension to be unchanged),
+// ReloadBundle builds fresh replicas off the bundle's own pipeline and swaps
+// them in shard by shard with the same quiesce/drain machinery, so a retrain
+// that grew the table universe or shifted the label range rolls out with the
+// exact guarantees of a weight roll: the bundle is decoded and validated
+// exactly once against a staging model before any shard is touched (the
+// staging model's shape validation is the feature-dim check), at every
+// instant all but at most one shard accept dispatcher traffic, detours stay
+// within one generation, and cache segments reject cross-generation
+// deposits. On success it returns the new generation of the full identity.
+func (se *ShardedEngine) ReloadBundle(r io.Reader) (int64, error) {
+	if !se.reloadMu.TryLock() {
+		return 0, ErrReloadInProgress
+	}
+	defer se.reloadMu.Unlock()
+	fb, err := persist.DecodeFullBundle(r)
+	if err != nil {
+		return 0, err
+	}
+	base := se.shards[0].pred.Model
+	rb, ok := base.(models.PipelineRebuilder)
+	if !ok {
+		return 0, fmt.Errorf("serve: %T cannot rebuild off a new pipeline; use a weight-only reload", base)
+	}
+	pipe := fb.Pipeline()
+	staging, err := rb.RebuildWithPipeline(pipe)
+	if err != nil {
+		return 0, err
+	}
+	ws, ok := staging.(persist.WeightStore)
+	if !ok {
+		return 0, fmt.Errorf("serve: %T does not expose weights; cannot stage a full reload", staging)
+	}
+	// Apply validates the bundle's weight tensors against the staging model
+	// built off the bundle's own pipeline: a triple whose weights were
+	// trained against a different feature dimension fails here, before the
+	// serving path is touched.
+	if err := fb.Weights().Apply(ws); err != nil {
+		return 0, err
+	}
+	// Build every shard's replica up front so the roll below cannot fail
+	// mid-way: shard 0 takes the staging model itself, the rest take clones
+	// (bit-identical weights, shared pipeline and forward-semaphore).
+	repls := make([]models.Model, len(se.shards))
+	repls[0] = staging
+	if len(se.shards) > 1 {
+		cl, ok := staging.(models.Cloner)
+		if !ok {
+			return 0, fmt.Errorf("serve: %T does not support cloning; cannot build %d replicas", staging, len(se.shards))
+		}
+		for i := 1; i < len(se.shards); i++ {
+			repls[i] = cl.Clone()
+		}
+	}
+	norm := fb.Norm()
+	// Snapshot the new identity before the staging model is installed
+	// anywhere (after the roll it belongs to shard 0 and may only be
+	// touched under that shard's lock).
+	ident := &modelIdent{name: staging.Name(), params: staging.ParamCount()}
+	gen := se.generation.Load() + 1
+	for i, sh := range se.shards {
+		sh.swapReplica(repls[i], pipe, norm, gen)
+	}
+	se.generation.Store(gen)
+	se.ident.Store(ident)
+	se.reloads.Add(1)
+	return gen, nil
+}
+
+// ModelInfo reports the live serving identity for operator surfaces like
+// /v1/stats: after a full-bundle reload the replicas — and with them the
+// parameter count, which follows the pipeline's feature dimension — are
+// different objects than the ones the engine was built with. It reads a
+// lock-free snapshot republished at roll time, so stats polls never queue
+// behind an in-flight model batch on the predictor lock.
+func (se *ShardedEngine) ModelInfo() (name string, params int) {
+	id := se.ident.Load()
+	return id.name, id.params
+}
+
+// Generation reports the full-identity generation of the last reload that
+// completed on every shard (1 = the identity the engine was built with).
 func (se *ShardedEngine) Generation() int64 { return se.generation.Load() }
 
 // Reloads reports how many bundle rolls have completed.

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -35,6 +36,13 @@ import (
 
 // Predictor bundles everything needed to cost one query: the trained model,
 // its feature pipeline and the label normaliser fit on training data.
+//
+// The three fields are one predictor identity and change together: a
+// full-bundle reload (see Engine.swapReplica) replaces all of them under mu,
+// so any path that reads more than one field — or pairs a field with a model
+// output — must do so inside a single critical section, or a roll racing the
+// read could denormalise one generation's output with another generation's
+// normaliser.
 type Predictor struct {
 	Model models.Model
 	Pipe  *models.Pipeline
@@ -66,9 +74,9 @@ func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("parse: %w", err)
 	}
 	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	y := p.predictTrace(tr)
+	y, norm := p.predictTrace(tr)
 	return Prediction{
-		CPUMinutes: p.Norm.Denormalize(y),
+		CPUMinutes: norm.Denormalize(y),
 		Normalized: y,
 		PlanNodes:  plan.NodeCount(),
 		PlanDepth:  plan.MaxDepth(),
@@ -78,11 +86,12 @@ func (p *Predictor) PredictSQL(sql string) (Prediction, error) {
 
 // predictTrace costs one already-planned trace under the global model lock:
 // the per-query serialised path the batcher replaces (and degrades to when
-// closed or saturated).
-func (p *Predictor) predictTrace(tr *workload.Trace) float64 {
+// closed or saturated). The normaliser is read under the same lock as the
+// model call so the pair always belongs to one predictor identity.
+func (p *Predictor) predictTrace(tr *workload.Trace) (float64, workload.Normalizer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.predictTraceLocked(tr)
+	return p.predictTraceLocked(tr), p.Norm
 }
 
 // predictTraceLocked is the model round trip with p.mu already held; the
@@ -116,9 +125,11 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
-	// WeightGeneration is the bundle generation of the last reload that
-	// completed on every shard; Reloads counts completed rolls. During a
-	// roll, per-shard generations briefly run one ahead of the aggregate.
+	// WeightGeneration is the generation of the last reload — weight-only or
+	// full-bundle — that completed on every shard; the counter covers the
+	// full predictor identity (pipeline, normaliser, weights). Reloads
+	// counts completed rolls of either kind. During a roll, per-shard
+	// generations briefly run one ahead of the aggregate.
 	WeightGeneration int64 `json:"weight_generation"`
 	Reloads          int64 `json:"reloads"`
 
@@ -192,11 +203,13 @@ func (r *latencyRing) Percentiles(qs ...float64) []float64 {
 	return out
 }
 
-// Server is the HTTP front end over the sharded inference engine.
+// Server is the HTTP front end over the sharded inference engine. It holds
+// no predictor of its own — the serving identity lives in the engine's
+// shards and is resolved per request (see ModelInfo), since a full-bundle
+// reload can replace it wholesale.
 type Server struct {
-	pred *Predictor
-	eng  *ShardedEngine
-	mux  *http.ServeMux
+	eng *ShardedEngine
+	mux *http.ServeMux
 
 	// reloadToken, when non-empty, is the bearer token required on
 	// POST /v1/reload; when empty, reload is restricted to loopback peers.
@@ -219,10 +232,9 @@ func NewServer(pred *Predictor) *Server {
 // across that many model replicas; otherwise it runs single-shard.
 func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	s := &Server{
-		pred: pred,
-		eng:  NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
-		mux:  http.NewServeMux(),
-		lat:  newLatencyRing(2048),
+		eng: NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
+		mux: http.NewServeMux(),
+		lat: newLatencyRing(2048),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
@@ -388,17 +400,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// reloadRequest is the JSON body of POST /v1/reload: the path of a weight
-// bundle written by the retraining job (`prestroidd -train`), readable by
-// the serving process.
+// reloadRequest is the JSON body of POST /v1/reload: exactly one of the two
+// paths, each naming an artefact written by the retraining job (`prestroidd
+// -train`) and readable by the serving process. "weights" rolls a
+// weight-only bundle into the existing replicas (feature pipeline and
+// normaliser unchanged); "bundle" rolls a full (pipeline, normaliser,
+// weights) bundle by building fresh replicas off the staged pipeline.
 type reloadRequest struct {
 	Weights string `json:"weights"`
+	Bundle  string `json:"bundle"`
 }
 
 // reloadResponse reports a completed roll.
 type reloadResponse struct {
 	Generation int64   `json:"generation"`
 	Shards     int     `json:"shards"`
+	Mode       string  `json:"mode"` // "weights" or "bundle"
 	Millis     float64 `json:"millis"`
 }
 
@@ -425,11 +442,14 @@ func (s *Server) authorizeReload(r *http.Request) (int, error) {
 	return 0, nil
 }
 
-// handleReload is the admin endpoint that hot-swaps a retrained weight
-// bundle into the live replicas (see ShardedEngine.Reload for the quiesce
-// protocol and its guarantees). Admin traffic is deliberately kept out of
-// the serving counters: /v1/stats latencies and request totals describe
-// prediction traffic only.
+// handleReload is the admin endpoint that hot-swaps a retrained bundle into
+// the live replicas: weight-only ({"weights": path}, see
+// ShardedEngine.Reload) or the full predictor identity ({"bundle": path},
+// see ShardedEngine.ReloadBundle). Both paths share one roll machinery, so
+// overlapping rolls of either kind answer 409 and a rejected bundle of
+// either kind answers 422 with zero serving impact. Admin traffic is
+// deliberately kept out of the serving counters: /v1/stats latencies and
+// request totals describe prediction traffic only.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
@@ -446,17 +466,27 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
-	if req.Weights == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing field: weights"})
+	var path, mode string
+	var roll func(io.Reader) (int64, error)
+	switch {
+	case req.Weights != "" && req.Bundle != "":
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give exactly one of: weights, bundle"})
+		return
+	case req.Weights != "":
+		path, mode, roll = req.Weights, "weights", s.eng.Reload
+	case req.Bundle != "":
+		path, mode, roll = req.Bundle, "bundle", s.eng.ReloadBundle
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing field: weights or bundle"})
 		return
 	}
-	f, err := os.Open(req.Weights)
+	f, err := os.Open(path)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("cannot open weight bundle: %v", err)})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("cannot open %s bundle: %v", mode, err)})
 		return
 	}
 	defer f.Close()
-	gen, err := s.eng.Reload(f)
+	gen, err := roll(f)
 	switch {
 	case errors.Is(err, ErrReloadInProgress):
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
@@ -469,6 +499,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reloadResponse{
 		Generation: gen,
 		Shards:     s.eng.Shards(),
+		Mode:       mode,
 		Millis:     float64(time.Since(start).Microseconds()) / 1e3,
 	})
 }
@@ -484,6 +515,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	perShard := s.eng.ShardMetrics()
 	em := aggregate(perShard)
 	pct := s.lat.Percentiles(0.50, 0.95, 0.99)
+	// Model metadata comes from the live serving identity, not the predictor
+	// the server was built with: a full-bundle reload replaces the replicas
+	// (and the parameter count follows the new pipeline's feature dim).
+	modelName, params := s.eng.ModelInfo()
 	st := Stats{
 		Requests:         req,
 		Errors:           atomic.LoadInt64(&s.errors),
@@ -499,8 +534,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WeightGeneration: s.eng.Generation(),
 		Reloads:          s.eng.Reloads(),
 		Replicas:         s.eng.Shards(),
-		ModelName:        s.pred.Model.Name(),
-		Params:           s.pred.Model.ParamCount(),
+		ModelName:        modelName,
+		Params:           params,
 	}
 	if req > 0 {
 		st.AvgMillis = float64(us) / 1e3 / float64(req)

@@ -14,6 +14,15 @@ import (
 	"prestroid/internal/workload"
 )
 
+// testModelConfig is the architecture every test predictor uses; full-bundle
+// tests build retrained models of the same family over other pipelines.
+func testModelConfig() models.PrestroidConfig {
+	mcfg := models.DefaultPrestroidConfig(15, 5)
+	mcfg.ConvWidths = []int{8}
+	mcfg.DenseWidths = []int{8}
+	return mcfg
+}
+
 // newTestPredictor trains a small real Prestroid and wraps it for serving;
 // shard tests reuse it to assert replica correctness against the serialised
 // path.
@@ -27,10 +36,7 @@ func newTestPredictor(t *testing.T) *Predictor {
 	pcfg := models.DefaultPipelineConfig(8)
 	pcfg.MinCount = 2
 	pipe := models.BuildPipeline(split.Train, pcfg)
-	mcfg := models.DefaultPrestroidConfig(15, 5)
-	mcfg.ConvWidths = []int{8}
-	mcfg.DenseWidths = []int{8}
-	m := models.NewPrestroid(mcfg, pipe)
+	m := models.NewPrestroid(testModelConfig(), pipe)
 	m.Prepare(split.Train[:32])
 	labels := dataset.Labels(split.Train[:32], norm)
 	for i := 0; i < 3; i++ {

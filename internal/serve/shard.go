@@ -71,14 +71,29 @@ func Replicas(pred *Predictor, n int) []*Predictor {
 type ShardedEngine struct {
 	shards []*Engine
 
-	// reloadMu serialises weight rolls: at most one bundle is ever in
-	// flight, so at any instant shards carry at most two generations (the
-	// outgoing and the incoming one).
+	// reloadMu serialises rolls of either kind (weight-only and
+	// full-bundle): at most one bundle is ever in flight, so at any instant
+	// shards carry at most two generations (the outgoing and the incoming
+	// one).
 	reloadMu sync.Mutex
-	// generation is the bundle generation of the last reload that completed
-	// on every shard; during a roll individual shards run ahead of it.
+	// generation is the full-identity generation of the last reload that
+	// completed on every shard; during a roll individual shards run ahead
+	// of it.
 	generation atomic.Int64
 	reloads    atomic.Int64
+
+	// ident is the serving identity snapshot (model name + parameter
+	// count) for operator surfaces. It is kept out of the shards'
+	// predictor locks — /v1/stats polls must not queue behind multi-
+	// millisecond model batches — and republished by ReloadBundle, the
+	// only roll kind that changes it.
+	ident atomic.Pointer[modelIdent]
+}
+
+// modelIdent is the immutable identity snapshot behind ModelInfo.
+type modelIdent struct {
+	name   string
+	params int
 }
 
 // NewShardedEngine starts one batcher per predictor (typically built with
@@ -95,6 +110,7 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 	}
 	se := &ShardedEngine{shards: make([]*Engine, len(preds))}
 	se.generation.Store(initialGeneration)
+	se.ident.Store(&modelIdent{name: preds[0].Model.Name(), params: preds[0].Model.ParamCount()})
 	for i, p := range preds {
 		se.shards[i] = NewEngine(p, per)
 	}
@@ -169,7 +185,7 @@ func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
 	return p, err
 }
 
-// PredictSQLGen is PredictSQL plus the weight generation that produced the
+// PredictSQLGen is PredictSQL plus the generation that produced the
 // answer. Generations are monotone per canonical key for any single
 // observer: once a caller has received generation g for a key, every
 // request it *starts afterwards* for that key is served from weights (or
@@ -178,7 +194,14 @@ func (se *ShardedEngine) PredictSQL(sql string) (Prediction, error) {
 // segments drop cross-generation deposits. Responses of concurrent
 // requests may still complete out of order (a detour queued behind a slow
 // peer can finish after the roll), so the guarantee is happens-before
-// monotonicity, not global completion-order monotonicity.
+// monotonicity, not global completion-order monotonicity. One narrow
+// carve-out: a shard so saturated that its roll-time drain exceeds
+// drainTimeout can answer jobs that were already queued behind the swap
+// under the *new* generation while earlier shards in the roll order still
+// serve the old one — a caller that received such an early new-generation
+// answer can then briefly observe the old generation for the same key
+// until the roll completes. Bounding the drain is deliberate: waiting for
+// a saturated queue to empty could stall the roll indefinitely.
 func (se *ShardedEngine) PredictSQLGen(sql string) (Prediction, int64, error) {
 	key := CanonicalSQL(sql)
 	home := se.shards[se.shardOf(key)]

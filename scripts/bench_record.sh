@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the serve layer: run the serving benchmarks
+# (BenchmarkServePredict and BenchmarkShardedDistinctTemplates, 3 repeats of
+# one iteration each), record best-of-3 throughput per benchmark to a JSON
+# artifact, and — when a baseline file exists — fail if any benchmark's
+# throughput dropped more than the tolerance below its baseline.
+#
+#   scripts/bench_record.sh                                    # record only
+#   scripts/bench_record.sh -baseline scripts/bench_baseline.json
+#   scripts/bench_record.sh -out BENCH_serve.json -tolerance 25
+#
+# Refresh the committed baseline by copying a fresh recording over it:
+#   scripts/bench_record.sh -out scripts/bench_baseline.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="BENCH_serve.json"
+baseline=""
+tolerance=25
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -out) out="$2"; shift 2 ;;
+    -baseline) baseline="$2"; shift 2 ;;
+    -tolerance) tolerance="$2"; shift 2 ;;
+    *) echo "usage: $0 [-out file.json] [-baseline file.json] [-tolerance pct]" >&2; exit 2 ;;
+  esac
+done
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates' \
+  -benchtime 1x -count 3 . | tee "$raw"
+
+python3 - "$raw" "$out" "$tolerance" "$baseline" <<'PY'
+import json, re, sys
+
+raw, out, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path = sys.argv[4] if len(sys.argv) > 4 else ""
+
+# Lines look like: BenchmarkServePredict/coalesced-8   1   123456 ns/op
+line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
+best = {}
+goos = goarch = cpu = ""
+for line in open(raw):
+    if line.startswith("goos:"):
+        goos = line.split()[1]
+    elif line.startswith("goarch:"):
+        goarch = line.split()[1]
+    elif line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    m = line_re.match(line)
+    if not m:
+        continue
+    name, ns = m.group(1), float(m.group(2))
+    # Best-of-count: single-iteration runs are noisy, the fastest repeat is
+    # the least-disturbed measurement.
+    if name not in best or ns < best[name]:
+        best[name] = ns
+
+if not best:
+    sys.exit("bench_record: no benchmark results parsed from go test output")
+
+record = {
+    "goos": goos, "goarch": goarch, "cpu": cpu,
+    "tolerance_pct": tolerance,
+    "benchmarks": {
+        name: {"ns_per_op": ns, "qps": 1e9 / ns} for name, ns in sorted(best.items())
+    },
+}
+with open(out, "w") as f:
+    json.dump(record, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"recorded {len(best)} benchmarks to {out}")
+
+if not baseline_path:
+    sys.exit(0)
+try:
+    base = json.load(open(baseline_path))
+except FileNotFoundError:
+    print(f"no baseline at {baseline_path}; recording only")
+    sys.exit(0)
+
+failures = []
+for name, entry in base.get("benchmarks", {}).items():
+    if name not in best:
+        failures.append(f"{name}: present in baseline, missing from this run")
+        continue
+    base_qps = entry["qps"]
+    got_qps = 1e9 / best[name]
+    floor = base_qps * (1 - tolerance / 100)
+    verdict = "ok" if got_qps >= floor else "REGRESSION"
+    print(f"{verdict}: {name}: {got_qps:,.0f} qps vs baseline {base_qps:,.0f} "
+          f"(floor {floor:,.0f})")
+    if got_qps < floor:
+        failures.append(
+            f"{name}: {got_qps:,.0f} qps is more than {tolerance:.0f}% below "
+            f"baseline {base_qps:,.0f}")
+if failures:
+    sys.exit("benchmark regression:\n  " + "\n  ".join(failures))
+print("benchmark throughput within tolerance of baseline")
+PY

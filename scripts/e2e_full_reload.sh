@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the *full-bundle* retrain-and-reload loop: train two
+# full bundles whose pipelines have different feature-table universes, serve
+# the first, hammer /v1/predict with sustained traffic while POST /v1/reload
+# {"bundle": ...} rolls the second — fresh replicas, new pipeline, new
+# normaliser — through the live shards, then assert zero failed requests,
+# per-key generation monotonicity, the new generation (and the new
+# identity's parameter count) answering, and a clean SIGTERM drain.
+#
+# Run from anywhere: ./scripts/e2e_full_reload.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+bin="$work/prestroidd"
+addr="127.0.0.1:18102"
+base="http://$addr"
+server_pid=""
+
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/prestroidd
+
+echo "== train generation-1 and generation-2 full bundles (different table universes)"
+"$bin" -train -bundle "$work/gen1.full" -queries 300 2>&1 | tee "$work/train1.log"
+# The second training run sees a much larger synthetic catalog, so its
+# pipeline's table universe — and with it the model's feature dimension —
+# differs from the first: exactly the retrain a weight-only reload cannot
+# ship.
+"$bin" -train -bundle "$work/gen2.full" -queries 300 -tables 220 2>&1 | tee "$work/train2.log"
+
+dim1=$(grep -o 'feature dim [0-9]*' "$work/train1.log" | grep -o '[0-9]*')
+dim2=$(grep -o 'feature dim [0-9]*' "$work/train2.log" | grep -o '[0-9]*')
+if [[ -z "$dim1" || -z "$dim2" || "$dim1" == "$dim2" ]]; then
+  echo "training runs report feature dims '$dim1' and '$dim2'; the full roll has no universe change to prove" >&2
+  exit 1
+fi
+echo "feature dim: generation 1 = $dim1, generation 2 = $dim2"
+
+echo "== serve generation 1 from its full bundle"
+"$bin" -bundle "$work/gen1.full" -addr "$addr" -replicas 2 >"$work/server.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+  if [[ "$i" == 100 ]]; then
+    echo "server never became healthy" >&2
+    cat "$work/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+params_before=$(curl -fsS "$base/v1/stats" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["parameters"])')
+
+# Each hammer records "key generation" per successful response so the roll's
+# per-key monotonicity guarantee can be checked afterwards; anything but a
+# body carrying a generation counts as a failure. Every command in the loop
+# is guarded: under `set -euo pipefail` an unguarded grep miss on a failed
+# response would kill the hammer itself and let the zero-failure assertion
+# pass vacuously.
+predict_loop() {
+  local log="$1" i=0 key body gen
+  while [[ ! -f "$work/stop" ]]; do
+    key=$((i % 5))
+    body=$(curl -s -X POST "$base/v1/predict" \
+      -d "{\"sql\":\"SELECT a FROM t WHERE a > $key\"}") || body=""
+    gen=$(grep -o '"generation":[0-9]*' <<<"$body" | head -1 | cut -d: -f2) || gen=""
+    if [[ -z "$gen" ]]; then
+      echo "${body:-<no response>}" >>"$work/failures"
+    else
+      echo "$key $gen" >>"$log"
+    fi
+    i=$((i + 1))
+  done
+}
+
+echo "== hammer /v1/predict while rolling the generation-2 full bundle"
+predict_loop "$work/gens1" &
+hammer1=$!
+predict_loop "$work/gens2" &
+hammer2=$!
+sleep 1
+
+curl -fsS -X POST "$base/v1/reload" -d "{\"bundle\":\"$work/gen2.full\"}" >"$work/reload.json"
+cat "$work/reload.json"; echo
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["generation"] == 2, r
+assert r["mode"] == "bundle", r
+' "$work/reload.json"
+
+sleep 1
+touch "$work/stop"
+wait "$hammer1" "$hammer2"
+
+echo "== assert zero failed requests and per-key generation monotonicity"
+if [[ -s "${work}/failures" ]]; then
+  echo "failed predict requests during the full roll:" >&2
+  head -5 "$work/failures" >&2
+  exit 1
+fi
+python3 - "$work/gens1" "$work/gens2" <<'PY'
+import sys
+for path in sys.argv[1:]:
+    seen = {}
+    for n, line in enumerate(open(path), 1):
+        key, gen = line.split()
+        gen = int(gen)
+        assert gen >= seen.get(key, 1), (
+            f"{path}:{n}: key {key} flipped from generation {seen[key]} back to {gen}")
+        seen[key] = gen
+    assert seen, f"{path}: hammer recorded no responses"
+    assert max(seen.values()) == 2, f"{path}: no response ever carried generation 2: {seen}"
+print("ok: generations monotone per key in both hammers, generation 2 observed")
+PY
+
+echo "== assert the live identity changed: generation, reloads, parameter count"
+curl -fsS "$base/v1/stats" | python3 -c "
+import json, sys
+s = json.load(sys.stdin)
+assert s['weight_generation'] == 2, s['weight_generation']
+assert s['reloads'] == 1, s['reloads']
+assert s['errors'] == 0, s['errors']
+assert s['requests'] > 0, s['requests']
+assert all(sh['generation'] == 2 for sh in s['shards']), s['shards']
+assert s['parameters'] != $params_before, (
+    'parameters unchanged (%d) after a roll that changed the feature dim' % s['parameters'])
+print('ok: generation 2 on', len(s['shards']), 'shards,', s['requests'],
+      'requests, 0 errors, parameters', '$params_before', '->', s['parameters'])
+"
+
+echo "== graceful shutdown"
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "daemon did not exit cleanly on SIGTERM" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+server_pid=""
+grep -q "draining" "$work/server.log" || {
+  echo "daemon exited without draining" >&2
+  cat "$work/server.log" >&2
+  exit 1
+}
+
+echo "e2e full-bundle reload passed"
