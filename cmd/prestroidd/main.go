@@ -14,13 +14,16 @@
 // pipeline and weights in separate files and reconstructs the normaliser
 // from the deterministic training workload.
 //
-// Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats,
-// GET /healthz, and the admin endpoint POST /v1/reload, which hot-swaps a
-// retrained bundle into the live replicas without dropping traffic (guarded
-// by -reload-token, or loopback-only when unset): {"weights": path} rolls
-// new weights into the existing replicas, {"bundle": path} rolls a full
-// bundle — including a pipeline with a different feature-table universe —
-// by swapping in fresh replicas.
+// Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats
+// (JSON counters), GET /metrics (the same counters in Prometheus text
+// exposition format — both views render one telemetry snapshot, see the
+// README's observability section), GET /healthz, and the admin endpoint
+// POST /v1/reload, which hot-swaps a retrained bundle into the live
+// replicas without dropping traffic (guarded by -reload-token, or
+// loopback-only when unset): {"weights": path} rolls new weights into the
+// existing replicas, {"bundle": path} rolls a full bundle — including a
+// pipeline with a different feature-table universe — by swapping in fresh
+// replicas.
 //
 // Inference runs through the sharded batched engine: -replicas sets how
 // many model replicas (each with its own batcher goroutine and cache

@@ -85,7 +85,7 @@ func main() {
 		fmt.Println("predict:", err)
 		return
 	}
-	em := eng.Metrics()
+	em := eng.Snapshot()
 	fmt.Printf("\nserving engine: %q -> %.2f CPU minutes (%d plan nodes)\n", sql, p.CPUMinutes, p.PlanNodes)
 	fmt.Printf("  %d queries served in %d model batches, %d cache hits\n",
 		em.Coalesced+em.CacheHits, em.Batches, em.CacheHits)

@@ -2,12 +2,12 @@ package serve
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"prestroid/internal/logicalplan"
+	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
 
@@ -36,24 +36,6 @@ type Config struct {
 // DefaultConfig mirrors the prestroidd defaults.
 func DefaultConfig() Config {
 	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096, Replicas: DefaultReplicas()}
-}
-
-// batchBuckets labels the batch-size histogram exposed at /v1/stats.
-var batchBuckets = []struct {
-	Label string
-	Max   int
-}{
-	{"1", 1}, {"2", 2}, {"3-4", 4}, {"5-8", 8},
-	{"9-16", 16}, {"17-32", 32}, {"33+", math.MaxInt},
-}
-
-func bucketFor(size int) int {
-	for i, b := range batchBuckets {
-		if size <= b.Max {
-			return i
-		}
-	}
-	return len(batchBuckets) - 1
 }
 
 // concurrentEncoder is the optional model interface that splits Prepare into
@@ -115,9 +97,9 @@ type Engine struct {
 	// the generation that produced it.
 	weightGen atomic.Int64
 
-	batches   atomic.Int64
-	coalesced atomic.Int64
-	hist      []int64 // len(batchBuckets), atomic counters
+	// tel is the shard's counter group: batch and cache counters land here
+	// as atomic adds, and Snapshot folds them with the sampled gauges.
+	tel *telemetry.ShardGroup
 }
 
 // NewEngine starts the batcher goroutine. Callers must Close the engine to
@@ -134,11 +116,12 @@ func NewEngine(pred *Predictor, cfg Config) *Engine {
 		cfg:  cfg,
 		jobs: make(chan *predictJob, 4*cfg.MaxBatch),
 		quit: make(chan struct{}),
-		hist: make([]int64, len(batchBuckets)),
+		tel:  telemetry.NewShardGroup(),
 	}
 	e.weightGen.Store(initialGeneration)
 	if cfg.CacheSize > 0 {
-		e.cache = newPredictionCache(cfg.CacheSize, initialGeneration)
+		e.cache = newPredictionCache(cfg.CacheSize, initialGeneration,
+			&e.tel.CacheHits, &e.tel.CacheMisses)
 	}
 	e.wg.Add(1)
 	go e.run()
@@ -374,43 +357,22 @@ func (e *Engine) flush(batch []*predictJob) {
 	}
 	e.pred.mu.Unlock()
 
-	e.batches.Add(1)
-	e.coalesced.Add(int64(len(batch)))
-	atomic.AddInt64(&e.hist[bucketFor(len(uniq))], 1)
+	e.tel.Batches.Inc()
+	e.tel.Coalesced.Add(int64(len(batch)))
+	e.tel.BatchSizes.Observe(int64(len(uniq)))
 	for i, j := range batch {
 		j.done <- predictResult{y: out.Data[rows[i]], gen: gen, norm: norm}
 	}
 }
 
-// Metrics is the engine-level counter snapshot folded into /v1/stats.
-type Metrics struct {
-	Batches      int64            // coalesced groups flushed
-	Coalesced    int64            // queries served through those groups
-	BatchHist    map[string]int64 // batch-size histogram
-	CacheHits    int64
-	CacheMisses  int64
-	CacheEntries int
-	Queued       int   // jobs waiting in the queue at snapshot time
-	Generation   int64 // weight-bundle generation of the shard's replica
-}
-
-// Metrics returns a consistent-enough snapshot of the engine counters.
-func (e *Engine) Metrics() Metrics {
-	m := Metrics{
-		Batches:    e.batches.Load(),
-		Coalesced:  e.coalesced.Load(),
-		BatchHist:  make(map[string]int64, len(batchBuckets)),
-		Queued:     len(e.jobs),
-		Generation: e.weightGen.Load(),
-	}
-	for i, b := range batchBuckets {
-		if n := atomic.LoadInt64(&e.hist[i]); n > 0 {
-			m.BatchHist[b.Label] = n
-		}
-	}
+// Snapshot returns the shard's telemetry snapshot: the group's atomic
+// counters plus the gauges sampled here (queue depth, cache entries, weight
+// generation). The shard index is 0; a ShardedEngine overwrites it with the
+// dispatcher's numbering.
+func (e *Engine) Snapshot() telemetry.ShardSnapshot {
+	entries := 0
 	if e.cache != nil {
-		m.CacheHits, m.CacheMisses = e.cache.Counters()
-		m.CacheEntries = e.cache.Len()
+		entries = e.cache.Len()
 	}
-	return m
+	return e.tel.Snapshot(len(e.jobs), entries, e.weightGen.Load())
 }

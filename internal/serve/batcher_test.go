@@ -112,7 +112,7 @@ func TestEngineCoalesces(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	em := eng.Metrics()
+	em := eng.Snapshot()
 	if em.Coalesced != clients {
 		t.Fatalf("coalesced = %d, want %d", em.Coalesced, clients)
 	}
@@ -164,7 +164,7 @@ func TestEngineCacheHit(t *testing.T) {
 	if got := m.predicts.Load(); got != 1 {
 		t.Fatalf("model ran %d times for one template, want 1", got)
 	}
-	em := eng.Metrics()
+	em := eng.Snapshot()
 	if em.CacheHits != 2 || em.CacheMisses != 1 {
 		t.Fatalf("cache counters = %d hits / %d misses, want 2/1", em.CacheHits, em.CacheMisses)
 	}
@@ -179,7 +179,7 @@ func TestEngineCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if em := eng.Metrics(); em.CacheEntries != 4 {
+	if em := eng.Snapshot(); em.CacheEntries != 4 {
 		t.Fatalf("cache entries = %d, want 4", em.CacheEntries)
 	}
 }

@@ -4,7 +4,8 @@ import (
 	"container/list"
 	"strings"
 	"sync"
-	"sync/atomic"
+
+	"prestroid/internal/telemetry"
 )
 
 // CanonicalSQL normalises what the lexer ignores so cosmetic reformattings
@@ -84,8 +85,10 @@ type predictionCache struct {
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// hits/misses live in the owning shard's telemetry group so cache
+	// accounting feeds the same snapshot as every other counter.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -93,12 +96,14 @@ type cacheEntry struct {
 	pred Prediction
 }
 
-func newPredictionCache(max int, gen int64) *predictionCache {
+func newPredictionCache(max int, gen int64, hits, misses *telemetry.Counter) *predictionCache {
 	return &predictionCache{
-		max:   max,
-		gen:   gen,
-		order: list.New(),
-		items: make(map[string]*list.Element, max),
+		max:    max,
+		gen:    gen,
+		order:  list.New(),
+		items:  make(map[string]*list.Element, max),
+		hits:   hits,
+		misses: misses,
 	}
 }
 
@@ -107,7 +112,7 @@ func newPredictionCache(max int, gen int64) *predictionCache {
 func (c *predictionCache) Get(key string) (Prediction, int64, bool) {
 	p, g, ok := c.Peek(key)
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	return p, g, ok
 }
@@ -128,7 +133,7 @@ func (c *predictionCache) Peek(key string) (Prediction, int64, bool) {
 	c.order.MoveToFront(el)
 	p, g := el.Value.(*cacheEntry).pred, c.gen
 	c.mu.Unlock()
-	c.hits.Add(1)
+	c.hits.Inc()
 	return p, g, true
 }
 
@@ -172,9 +177,4 @@ func (c *predictionCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
-}
-
-// Counters returns the lifetime hit/miss counts.
-func (c *predictionCache) Counters() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
 }

@@ -97,7 +97,7 @@ func TestFullReloadRollsAllShards(t *testing.T) {
 	if gen != 2 || se.Generation() != 2 || se.Reloads() != 1 {
 		t.Fatalf("full reload reported gen %d (engine %d, reloads %d), want 2/2/1", gen, se.Generation(), se.Reloads())
 	}
-	for i, m := range se.ShardMetrics() {
+	for i, m := range se.Snapshot().Shards {
 		if m.Generation != 2 {
 			t.Fatalf("shard %d still at generation %d after full reload", i, m.Generation)
 		}
@@ -151,8 +151,8 @@ func TestFullReloadRejectionsLeaveServingUntouched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hitsBefore := se.Metrics().CacheHits
-	entriesBefore := se.Metrics().CacheEntries
+	hitsBefore := se.Snapshot().Totals().CacheHits
+	entriesBefore := se.Snapshot().Totals().CacheEntries
 	if entriesBefore == 0 {
 		t.Fatal("test did not prime the cache; the cache-intact assertion would be vacuous")
 	}
@@ -190,7 +190,7 @@ func TestFullReloadRejectionsLeaveServingUntouched(t *testing.T) {
 			t.Fatalf("%s: rejected bundle advanced the engine: gen %d, reloads %d",
 				name, se.Generation(), se.Reloads())
 		}
-		if entries := se.Metrics().CacheEntries; entries != entriesBefore {
+		if entries := se.Snapshot().Totals().CacheEntries; entries != entriesBefore {
 			t.Fatalf("%s: rejected bundle disturbed the cache: %d entries, want %d",
 				name, entries, entriesBefore)
 		}
@@ -205,8 +205,12 @@ func TestFullReloadRejectionsLeaveServingUntouched(t *testing.T) {
 	}
 	// Every post-rejection lookup above was served by the intact cache
 	// segment, not recomputed.
-	if hits := se.Metrics().CacheHits; hits != hitsBefore+3 {
+	if hits := se.Snapshot().Totals().CacheHits; hits != hitsBefore+3 {
 		t.Fatalf("cache hits %d after 3 post-rejection lookups, want %d", hits, hitsBefore+3)
+	}
+	// Each rejection is visible on the operator surface.
+	if rejected := se.Snapshot().RejectedBundles; rejected != 3 {
+		t.Fatalf("rejected-bundle counter = %d after 3 rejections, want 3", rejected)
 	}
 }
 
@@ -498,7 +502,7 @@ func TestFullReloadUnderConcurrentTraffic(t *testing.T) {
 	if se.Generation() != lastGen {
 		t.Fatalf("engine generation = %d, want %d", se.Generation(), lastGen)
 	}
-	for i, m := range se.ShardMetrics() {
+	for i, m := range se.Snapshot().Shards {
 		if m.Generation != lastGen {
 			t.Fatalf("shard %d finished at generation %d, want %d", i, m.Generation, lastGen)
 		}

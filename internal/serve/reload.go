@@ -121,6 +121,43 @@ func (e *Engine) swapReplica(m models.Model, pipe *models.Pipeline, norm workloa
 // every canonical key on a single generation throughout the roll. On
 // success it returns the new generation, now reported by every shard.
 func (se *ShardedEngine) Reload(r io.Reader) (int64, error) {
+	return se.countRejected(se.reloadWeights(r))
+}
+
+// countRejected folds a roll outcome into the reload telemetry: a failure
+// before any replica was touched — a decode or validation rejection — is
+// counted on the rejected-bundle surface. A lost race for the roll lock is
+// no rejection, and a PartialRollError is deliberately *not* counted
+// either: its contract ("rejected before touching any replica, zero
+// serving impact") would be a lie for a roll that already mutated shards.
+func (se *ShardedEngine) countRejected(gen int64, err error) (int64, error) {
+	var partial *PartialRollError
+	if err != nil && !errors.Is(err, ErrReloadInProgress) && !errors.As(err, &partial) {
+		se.rejected.Inc()
+	}
+	return gen, err
+}
+
+// PartialRollError reports a roll that failed after some shards were
+// already swapped: serving stays generation-consistent (the dispatcher
+// never detours across generations) but the fleet is split between the old
+// and new weights until a follow-up roll completes. Unreachable with a
+// validated bundle and architecture-identical replicas, but surfaced
+// distinctly — as a 500, not a 422 — because "the bundle was rejected with
+// zero serving impact" would be the wrong thing to tell an operator.
+type PartialRollError struct {
+	Applied int // shards already carrying the new weights
+	Shards  int
+	Err     error
+}
+
+func (e *PartialRollError) Error() string {
+	return fmt.Sprintf("serve: reload applied to %d/%d shards, then: %v", e.Applied, e.Shards, e.Err)
+}
+
+func (e *PartialRollError) Unwrap() error { return e.Err }
+
+func (se *ShardedEngine) reloadWeights(r io.Reader) (int64, error) {
 	if !se.reloadMu.TryLock() {
 		return 0, ErrReloadInProgress
 	}
@@ -147,15 +184,11 @@ func (se *ShardedEngine) Reload(r io.Reader) (int64, error) {
 	gen := se.generation.Load() + 1
 	for i, sh := range se.shards {
 		if err := sh.swapWeights(staging, gen); err != nil {
-			// Unreachable with a validated bundle and architecture-identical
-			// replicas, but report honestly: shards before i already carry
-			// the new weights. Serving stays consistent either way — the
-			// dispatcher never detours across generations.
-			return 0, fmt.Errorf("serve: reload applied to %d/%d shards, then: %w", i, len(se.shards), err)
+			return 0, &PartialRollError{Applied: i, Shards: len(se.shards), Err: err}
 		}
 	}
 	se.generation.Store(gen)
-	se.reloads.Add(1)
+	se.reloads.Inc()
 	return gen, nil
 }
 
@@ -173,6 +206,10 @@ func (se *ShardedEngine) Reload(r io.Reader) (int64, error) {
 // within one generation, and cache segments reject cross-generation
 // deposits. On success it returns the new generation of the full identity.
 func (se *ShardedEngine) ReloadBundle(r io.Reader) (int64, error) {
+	return se.countRejected(se.reloadFullBundle(r))
+}
+
+func (se *ShardedEngine) reloadFullBundle(r io.Reader) (int64, error) {
 	if !se.reloadMu.TryLock() {
 		return 0, ErrReloadInProgress
 	}
@@ -227,7 +264,7 @@ func (se *ShardedEngine) ReloadBundle(r io.Reader) (int64, error) {
 	}
 	se.generation.Store(gen)
 	se.ident.Store(ident)
-	se.reloads.Add(1)
+	se.reloads.Inc()
 	return gen, nil
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -17,6 +18,25 @@ import (
 	"prestroid/internal/nn"
 	"prestroid/internal/persist"
 )
+
+// TestRejectedCounterSemantics pins what the rejected-bundle counter
+// counts: pre-roll rejections only. A lost race for the roll lock is no
+// rejection, and a partial roll — shards already mutated — must not hide
+// behind a counter whose contract is "zero serving impact".
+func TestRejectedCounterSemantics(t *testing.T) {
+	se := &ShardedEngine{}
+	if _, err := se.countRejected(0, ErrReloadInProgress); !errors.Is(err, ErrReloadInProgress) {
+		t.Fatal("countRejected must pass the error through")
+	}
+	se.countRejected(0, &PartialRollError{Applied: 1, Shards: 4, Err: errors.New("swap failed")})
+	if got := se.rejected.Load(); got != 0 {
+		t.Fatalf("rejected = %d after in-progress + partial-roll errors, want 0", got)
+	}
+	se.countRejected(0, errors.New("serve: bundle failed validation"))
+	if got := se.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d after a validation failure, want 1", got)
+	}
+}
 
 // perturbedBundle clones the predictor's model, shifts the final dense
 // layer's bias by delta — which moves every prediction through the output
@@ -80,7 +100,7 @@ func TestReloadRollsAllShards(t *testing.T) {
 	if gen != 2 || se.Generation() != 2 || se.Reloads() != 1 {
 		t.Fatalf("reload reported gen %d (engine %d, reloads %d), want 2/2/1", gen, se.Generation(), se.Reloads())
 	}
-	for i, m := range se.ShardMetrics() {
+	for i, m := range se.Snapshot().Shards {
 		if m.Generation != 2 {
 			t.Fatalf("shard %d still at generation %d after reload", i, m.Generation)
 		}
@@ -309,7 +329,7 @@ func TestReloadUnderConcurrentTraffic(t *testing.T) {
 	if se.Generation() != lastGen {
 		t.Fatalf("engine generation = %d, want %d", se.Generation(), lastGen)
 	}
-	for i, m := range se.ShardMetrics() {
+	for i, m := range se.Snapshot().Shards {
 		if m.Generation != lastGen {
 			t.Fatalf("shard %d finished at generation %d, want %d", i, m.Generation, lastGen)
 		}

@@ -20,17 +20,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"os"
-	"sort"
+	"runtime"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"prestroid/internal/logicalplan"
 	"prestroid/internal/models"
+	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
 
@@ -106,8 +106,18 @@ func (p *Predictor) predictTraceLocked(tr *workload.Trace) float64 {
 	return out.Data[0]
 }
 
-// Stats are the service counters exposed at /v1/stats.
+// Stats is the /v1/stats JSON view. It is a pure rendering of one
+// telemetry.Snapshot — the same snapshot the Prometheus /metrics exposition
+// renders — so the two surfaces can never disagree on a counter. The
+// percentiles are derived from the lock-free latency histogram's buckets
+// (linear interpolation within a bucket) instead of an exact sample ring;
+// see telemetry.HistogramSnapshot.Quantile for the accuracy contract.
 type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+	Goroutines    int     `json:"go_goroutines"`
+
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
 	TotalMillis int64   `json:"total_millis"`
@@ -132,6 +142,7 @@ type Stats struct {
 	// generations briefly run one ahead of the aggregate.
 	WeightGeneration int64 `json:"weight_generation"`
 	Reloads          int64 `json:"reloads"`
+	RejectedReloads  int64 `json:"rejected_reloads"`
 
 	Replicas int          `json:"replicas"`
 	Shards   []ShardStats `json:"shards"`
@@ -155,58 +166,23 @@ type ShardStats struct {
 	Generation   int64   `json:"generation"`
 }
 
-// latencyRing retains the most recent request latencies (microseconds) for
-// percentile estimation at /v1/stats time.
-type latencyRing struct {
-	mu  sync.Mutex
-	buf []int64
-	n   int // total observations ever
-}
-
-func newLatencyRing(size int) *latencyRing {
-	return &latencyRing{buf: make([]int64, size)}
-}
-
-func (r *latencyRing) Add(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.n%len(r.buf)] = d.Microseconds()
-	r.n++
-	r.mu.Unlock()
-}
-
-// Percentiles returns nearest-rank quantiles in milliseconds over the
-// retained window.
-func (r *latencyRing) Percentiles(qs ...float64) []float64 {
-	r.mu.Lock()
-	n := r.n
-	if n > len(r.buf) {
-		n = len(r.buf)
-	}
-	snap := make([]int64, n)
-	copy(snap, r.buf[:n])
-	r.mu.Unlock()
-	out := make([]float64, len(qs))
-	if n == 0 {
-		return out
-	}
-	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
-	for i, q := range qs {
-		idx := int(math.Ceil(q*float64(n))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= n {
-			idx = n - 1
-		}
-		out[i] = float64(snap[idx]) / 1e3
-	}
-	return out
+// endpoints is the server's fixed route table, which doubles as the label
+// universe of the per-endpoint response-class counters.
+var endpoints = []string{
+	"/healthz",
+	"/v1/predict",
+	"/v1/explain",
+	"/v1/stats",
+	"/v1/reload",
+	"/metrics",
 }
 
 // Server is the HTTP front end over the sharded inference engine. It holds
 // no predictor of its own — the serving identity lives in the engine's
 // shards and is resolved per request (see ModelInfo), since a full-bundle
-// reload can replace it wholesale.
+// reload can replace it wholesale. All instrumentation is atomic (see
+// internal/telemetry): the request hot path acquires no mutex to observe a
+// latency or bump a counter.
 type Server struct {
 	eng *ShardedEngine
 	mux *http.ServeMux
@@ -215,10 +191,8 @@ type Server struct {
 	// POST /v1/reload; when empty, reload is restricted to loopback peers.
 	reloadToken string
 
-	requests int64
-	errors   int64
-	micros   int64
-	lat      *latencyRing
+	tel     *telemetry.HTTPGroup
+	started time.Time
 }
 
 // NewServer wires the routes over a sharded engine with default batching,
@@ -232,16 +206,51 @@ func NewServer(pred *Predictor) *Server {
 // across that many model replicas; otherwise it runs single-shard.
 func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	s := &Server{
-		eng: NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
-		mux: http.NewServeMux(),
-		lat: newLatencyRing(2048),
+		eng:     NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
+		mux:     http.NewServeMux(),
+		tel:     telemetry.NewHTTPGroup(endpoints...),
+		started: time.Now(),
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/predict", s.handlePredict)
-	s.mux.HandleFunc("/v1/explain", s.handleExplain)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.handle("/healthz", s.handleHealth)
+	s.handle("/v1/predict", s.handlePredict)
+	s.handle("/v1/explain", s.handleExplain)
+	s.handle("/v1/stats", s.handleStats)
+	s.handle("/v1/reload", s.handleReload)
+	s.handle("/metrics", s.handleMetrics)
 	return s
+}
+
+// handle registers a route wrapped with response-class accounting: every
+// response on every endpoint — including 405s and admin traffic — lands in
+// the per-endpoint status counters, while the serving-only counters
+// (requests, errors, latency) stay with the handlers that own them.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.tel.Responses.Observe(path, sw.Status())
+	})
+}
+
+// statusWriter captures the status code a handler wrote (200 when the
+// handler wrote a body or nothing without an explicit WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // SetReloadToken guards POST /v1/reload with a bearer token; callers from
@@ -287,7 +296,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !requireGET(w, r) {
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
@@ -320,6 +329,7 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) 
 // status to use on failure.
 func decodeSQL(w http.ResponseWriter, r *http.Request) (string, int, error) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		return "", http.StatusMethodNotAllowed, errors.New("method not allowed: use POST")
 	}
 	var req predictRequest
@@ -333,14 +343,13 @@ func decodeSQL(w http.ResponseWriter, r *http.Request) (string, int, error) {
 }
 
 // observe folds one finished request — success or failure — into the
-// latency counters, so AvgMillis and the percentiles cover every terminal
-// path. It accumulates microseconds: cache hits routinely finish in well
-// under a millisecond, and summing truncated milliseconds would report
-// TotalMillis/AvgMillis of zero under exactly the traffic the cache is for.
+// latency histogram, so AvgMillis and the percentiles cover every terminal
+// path. It observes microseconds: cache hits routinely finish in well under
+// a millisecond, and truncated milliseconds would report zero latency under
+// exactly the traffic the cache is for. The observation is two atomic adds
+// — no mutex on the hot path.
 func (s *Server) observe(start time.Time) {
-	d := time.Since(start)
-	atomic.AddInt64(&s.micros, d.Microseconds())
-	s.lat.Add(d)
+	s.tel.Latency.Observe(time.Since(start).Microseconds())
 }
 
 // predictResponse is a Prediction plus the weight generation that produced
@@ -353,7 +362,7 @@ type predictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	atomic.AddInt64(&s.requests, 1)
+	s.tel.Requests.Inc()
 	defer s.observe(start)
 	sql, code, err := decodeSQL(w, r)
 	if err != nil {
@@ -379,7 +388,7 @@ type explainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	atomic.AddInt64(&s.requests, 1)
+	s.tel.Requests.Inc()
 	defer s.observe(start)
 	sql, code, err := decodeSQL(w, r)
 	if err != nil {
@@ -487,9 +496,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	defer f.Close()
 	gen, err := roll(f)
+	var partial *PartialRollError
 	switch {
 	case errors.Is(err, ErrReloadInProgress):
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case errors.As(err, &partial):
+		// The roll failed after mutating some shards: not a rejection, the
+		// fleet is split across generations until a follow-up roll lands.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	case err != nil:
 		// The bundle was rejected before any replica was touched.
@@ -504,51 +519,64 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if !requireGET(w, r) {
-		return
+// Snapshot assembles the one telemetry snapshot both operator surfaces
+// render: process runtime state, front-end counters and the engine's
+// per-shard groups, each counter read exactly once per call.
+func (s *Server) Snapshot() telemetry.Snapshot {
+	goVersion, version := telemetry.BuildInfo()
+	return telemetry.Snapshot{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     goVersion,
+		Version:       version,
+		Goroutines:    runtime.NumGoroutine(),
+		Requests:      s.tel.Requests.Load(),
+		Errors:        s.tel.Errors.Load(),
+		Latency:       s.tel.Latency.Snapshot(),
+		Responses:     s.tel.Responses.Snapshot(),
+		Engine:        s.eng.Snapshot(),
 	}
-	req := atomic.LoadInt64(&s.requests)
-	us := atomic.LoadInt64(&s.micros)
-	// One snapshot serves both views: aggregating a second snapshot for the
-	// totals would let per-shard counters sum past them under live traffic.
-	perShard := s.eng.ShardMetrics()
-	em := aggregate(perShard)
-	pct := s.lat.Percentiles(0.50, 0.95, 0.99)
-	// Model metadata comes from the live serving identity, not the predictor
-	// the server was built with: a full-bundle reload replaces the replicas
-	// (and the parameter count follows the new pipeline's feature dim).
-	modelName, params := s.eng.ModelInfo()
+}
+
+// statsFromSnapshot renders the /v1/stats JSON from one snapshot. Totals
+// and per-shard rows derive from the same per-shard reads, so the aggregate
+// can never disagree with the breakdown it sits next to.
+func statsFromSnapshot(snap telemetry.Snapshot) Stats {
+	tot := snap.Engine.Totals()
 	st := Stats{
-		Requests:         req,
-		Errors:           atomic.LoadInt64(&s.errors),
-		TotalMillis:      us / 1e3,
-		P50Millis:        pct[0],
-		P95Millis:        pct[1],
-		P99Millis:        pct[2],
-		Batches:          em.Batches,
-		BatchHist:        em.BatchHist,
-		CacheHits:        em.CacheHits,
-		CacheMisses:      em.CacheMisses,
-		CacheEntries:     em.CacheEntries,
-		WeightGeneration: s.eng.Generation(),
-		Reloads:          s.eng.Reloads(),
-		Replicas:         s.eng.Shards(),
-		ModelName:        modelName,
-		Params:           params,
+		UptimeSeconds:    snap.UptimeSeconds,
+		GoVersion:        snap.GoVersion,
+		Version:          snap.Version,
+		Goroutines:       snap.Goroutines,
+		Requests:         snap.Requests,
+		Errors:           snap.Errors,
+		TotalMillis:      snap.Latency.Sum / 1e3,
+		P50Millis:        snap.Latency.Quantile(0.50) / 1e3,
+		P95Millis:        snap.Latency.Quantile(0.95) / 1e3,
+		P99Millis:        snap.Latency.Quantile(0.99) / 1e3,
+		Batches:          tot.Batches,
+		BatchHist:        batchHistLabels(tot.BatchSizes),
+		CacheHits:        tot.CacheHits,
+		CacheMisses:      tot.CacheMisses,
+		CacheEntries:     tot.CacheEntries,
+		WeightGeneration: snap.Engine.Generation,
+		Reloads:          snap.Engine.Reloads,
+		RejectedReloads:  snap.Engine.RejectedBundles,
+		Replicas:         len(snap.Engine.Shards),
+		ModelName:        snap.Engine.ModelName,
+		Params:           snap.Engine.Params,
 	}
-	if req > 0 {
-		st.AvgMillis = float64(us) / 1e3 / float64(req)
+	if snap.Requests > 0 {
+		st.AvgMillis = float64(snap.Latency.Sum) / 1e3 / float64(snap.Requests)
 	}
-	if em.Batches > 0 {
-		st.AvgBatchSize = float64(em.Coalesced) / float64(em.Batches)
+	if tot.Batches > 0 {
+		st.AvgBatchSize = float64(tot.Coalesced) / float64(tot.Batches)
 	}
-	if lookups := em.CacheHits + em.CacheMisses; lookups > 0 {
-		st.CacheHitRate = float64(em.CacheHits) / float64(lookups)
+	if lookups := tot.CacheHits + tot.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(tot.CacheHits) / float64(lookups)
 	}
-	for i, m := range perShard {
+	for _, m := range snap.Engine.Shards {
 		sh := ShardStats{
-			Shard:        i,
+			Shard:        m.Shard,
 			Batches:      m.Batches,
 			Coalesced:    m.Coalesced,
 			CacheHits:    m.CacheHits,
@@ -562,11 +590,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		st.Shards = append(st.Shards, sh)
 	}
-	writeJSON(w, http.StatusOK, st)
+	return st
+}
+
+// batchHistLabels renders a batch-size histogram snapshot with the
+// /v1/stats label scheme ("1", "2", "3-4", ..., "17-32", "33+"), keeping
+// only non-empty buckets as the JSON view always has.
+func batchHistLabels(h telemetry.HistogramSnapshot) map[string]int64 {
+	out := make(map[string]int64, len(h.Counts))
+	lo := int64(1)
+	for i, c := range h.Counts {
+		var label string
+		switch {
+		case i >= len(h.Bounds):
+			label = strconv.FormatInt(lo, 10) + "+"
+		case h.Bounds[i] == lo:
+			label = strconv.FormatInt(lo, 10)
+		default:
+			label = strconv.FormatInt(lo, 10) + "-" + strconv.FormatInt(h.Bounds[i], 10)
+		}
+		if c > 0 {
+			out[label] = int64(c)
+		}
+		if i < len(h.Bounds) {
+			lo = h.Bounds[i] + 1
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, statsFromSnapshot(s.Snapshot()))
+}
+
+// handleMetrics serves the Prometheus text exposition of the same snapshot
+// /v1/stats renders as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, s.Snapshot())
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	atomic.AddInt64(&s.errors, 1)
+	s.tel.Errors.Inc()
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 

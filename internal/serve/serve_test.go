@@ -3,14 +3,17 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
 	"prestroid/internal/dataset"
 	"prestroid/internal/models"
+	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
 
@@ -167,12 +170,15 @@ func TestStatusCodeTable(t *testing.T) {
 		// HEAD kept for health probes.
 		{"stats ok", http.MethodGet, "/v1/stats", "", http.StatusOK},
 		{"healthz ok", http.MethodGet, "/healthz", "", http.StatusOK},
+		{"metrics ok", http.MethodGet, "/metrics", "", http.StatusOK},
 		{"stats HEAD", http.MethodHead, "/v1/stats", "", http.StatusOK},
 		{"healthz HEAD", http.MethodHead, "/healthz", "", http.StatusOK},
+		{"metrics HEAD", http.MethodHead, "/metrics", "", http.StatusOK},
 		{"stats POST", http.MethodPost, "/v1/stats", "{}", http.StatusMethodNotAllowed},
 		{"stats PUT", http.MethodPut, "/v1/stats", "", http.StatusMethodNotAllowed},
 		{"healthz POST", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
 		{"healthz DELETE", http.MethodDelete, "/healthz", "", http.StatusMethodNotAllowed},
+		{"metrics POST", http.MethodPost, "/metrics", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {
 		req := httptest.NewRequest(tc.method, tc.path, bytes.NewBufferString(tc.body))
@@ -180,6 +186,14 @@ func TestStatusCodeTable(t *testing.T) {
 		srv.ServeHTTP(w, req)
 		if w.Code != tc.want {
 			t.Errorf("%s: got %d, want %d (body %q)", tc.name, w.Code, tc.want, w.Body)
+		}
+		// Every 405 names the allowed methods; every response declares its
+		// content type.
+		if w.Code == http.StatusMethodNotAllowed && w.Header().Get("Allow") == "" {
+			t.Errorf("%s: 405 without an Allow header", tc.name)
+		}
+		if w.Header().Get("Content-Type") == "" {
+			t.Errorf("%s: response without a Content-Type", tc.name)
 		}
 	}
 }
@@ -217,6 +231,12 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.ModelName == "" || st.Params == 0 {
 		t.Fatalf("model metadata missing: %+v", st)
 	}
+	// Runtime metadata comes from the same snapshot: uptime ticks from
+	// server construction, build info and goroutines from the process.
+	if st.UptimeSeconds <= 0 || st.Goroutines <= 0 || st.GoVersion == "" || st.Version == "" {
+		t.Fatalf("runtime metadata missing: uptime=%v goroutines=%d go=%q version=%q",
+			st.UptimeSeconds, st.Goroutines, st.GoVersion, st.Version)
+	}
 	// Engine counters: one model batch (the miss), one cache hit, and the
 	// batch-size histogram accounts for every flushed batch.
 	if st.Batches < 1 || st.AvgBatchSize < 1 {
@@ -253,6 +273,140 @@ func TestStatsEndpoint(t *testing.T) {
 	if shardBatches != st.Batches || shardHits != st.CacheHits {
 		t.Fatalf("per-shard counters don't sum to aggregate: %+v", st)
 	}
+}
+
+// metricValue extracts the value of an exact exposition series line.
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s has unparsable value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition", series)
+	return 0
+}
+
+// TestMetricsEndpoint checks the Prometheus view end to end: the exposition
+// parses line by line, carries the shard labels, and — because both
+// endpoints render one telemetry snapshot — agrees with a back-to-back
+// /v1/stats on every monotone counter.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`)
+	post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t"}`) // cache hit
+	post(t, srv, "/v1/predict", `{"sql":"garbage"}`)         // 422
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	exposition := w.Body.String()
+	for i, line := range strings.Split(strings.TrimRight(exposition, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !telemetry.ExpositionLine.MatchString(line) {
+			t.Fatalf("metrics line %d does not parse: %q", i+1, line)
+		}
+	}
+
+	// A back-to-back stats read can only have moved monotone counters
+	// forward (here: not at all, the server is idle between the reads).
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	sw := httptest.NewRecorder()
+	srv.ServeHTTP(sw, req)
+	var st Stats
+	if err := json.Unmarshal(sw.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, exposition, "prestroid_requests_total"); int64(got) != st.Requests {
+		t.Fatalf("requests: metrics %v vs stats %d", got, st.Requests)
+	}
+	if got := metricValue(t, exposition, "prestroid_request_errors_total"); int64(got) != st.Errors {
+		t.Fatalf("errors: metrics %v vs stats %d", got, st.Errors)
+	}
+	if got := metricValue(t, exposition, "prestroid_generation"); int64(got) != st.WeightGeneration {
+		t.Fatalf("generation: metrics %v vs stats %d", got, st.WeightGeneration)
+	}
+	if got := metricValue(t, exposition, "prestroid_shards"); int(got) != st.Replicas {
+		t.Fatalf("shards: metrics %v vs stats %d", got, st.Replicas)
+	}
+	// Per-shard series sum to the stats aggregates (one snapshot each side).
+	var hits float64
+	for _, sh := range st.Shards {
+		hits += metricValue(t, exposition,
+			fmt.Sprintf(`prestroid_shard_cache_hits_total{shard="%d"}`, sh.Shard))
+		if gen := metricValue(t, exposition,
+			fmt.Sprintf(`prestroid_shard_generation{shard="%d"}`, sh.Shard)); int64(gen) != sh.Generation {
+			t.Fatalf("shard %d generation: metrics %v vs stats %d", sh.Shard, gen, sh.Generation)
+		}
+	}
+	if int64(hits) != st.CacheHits {
+		t.Fatalf("cache hits: metrics shards sum %v vs stats %d", hits, st.CacheHits)
+	}
+	// The latency histogram count covers every serving request.
+	if got := metricValue(t, exposition, "prestroid_request_latency_seconds_count"); int64(got) != st.Requests {
+		t.Fatalf("latency count: metrics %v vs stats requests %d", got, st.Requests)
+	}
+}
+
+// TestMetricsUnderConcurrentTraffic scrapes /metrics and /v1/stats while
+// predict traffic is in flight (run under -race): the lock-free
+// instrumentation must tolerate concurrent observe + snapshot, and scraped
+// counters must never exceed a later JSON read of the same counter.
+func TestMetricsUnderConcurrentTraffic(t *testing.T) {
+	srv := NewServerConfig(&Predictor{Model: &stubModel{}}, Config{MaxBatch: 4, CacheSize: 32})
+	t.Cleanup(srv.Close)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(t, srv, "/v1/predict",
+					fmt.Sprintf(`{"sql":"SELECT a FROM t WHERE a > %d"}`, i%7))
+			}
+		}(c)
+	}
+	for i := 0; i < 50; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("metrics scrape %d = %d", i, w.Code)
+		}
+		scraped := metricValue(t, w.Body.String(), "prestroid_requests_total")
+
+		req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		sw := httptest.NewRecorder()
+		srv.ServeHTTP(sw, req)
+		var st Stats
+		if err := json.Unmarshal(sw.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if int64(scraped) > st.Requests {
+			t.Fatalf("monotone violation: /metrics saw %v requests, later /v1/stats saw %d",
+				scraped, st.Requests)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestLatencyAccountingSubMillisecond pins the microsecond-accumulation

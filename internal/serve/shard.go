@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"prestroid/internal/models"
+	"prestroid/internal/telemetry"
 )
 
 // DefaultReplicas is the prestroidd default shard count: one per core,
@@ -80,7 +81,12 @@ type ShardedEngine struct {
 	// completed on every shard; during a roll individual shards run ahead
 	// of it.
 	generation atomic.Int64
-	reloads    atomic.Int64
+	// reloads counts completed rolls of either kind; rejected counts reload
+	// attempts refused before any replica was touched (decode or validation
+	// failure), the signal operators alert on when a retraining job starts
+	// emitting bad bundles.
+	reloads  telemetry.Counter
+	rejected telemetry.Counter
 
 	// ident is the serving identity snapshot (model name + parameter
 	// count) for operator surfaces. It is kept out of the shards'
@@ -227,43 +233,26 @@ func (se *ShardedEngine) PredictSQLGen(sql string) (Prediction, int64, error) {
 	return p, g, err
 }
 
-// aggregate sums per-shard snapshots into one Metrics. Callers that report
-// aggregates next to the per-shard breakdown must aggregate one snapshot
+// Snapshot returns the engine's full telemetry state in one pass: every
+// shard's counter group, the roll counters and the live model identity.
+// Presenters that show aggregates next to the per-shard breakdown must
+// derive both from one Snapshot (see telemetry.EngineSnapshot.Totals)
 // rather than snapshotting twice, or the two views drift under live
 // traffic.
-func aggregate(per []Metrics) Metrics {
-	agg := Metrics{BatchHist: make(map[string]int64, len(batchBuckets))}
-	for i, m := range per {
-		agg.Batches += m.Batches
-		agg.Coalesced += m.Coalesced
-		agg.CacheHits += m.CacheHits
-		agg.CacheMisses += m.CacheMisses
-		agg.CacheEntries += m.CacheEntries
-		agg.Queued += m.Queued
-		// Generation aggregates as the minimum: the oldest weights still
-		// serving anywhere, so the aggregate only advances when a roll has
-		// reached every shard.
-		if i == 0 || m.Generation < agg.Generation {
-			agg.Generation = m.Generation
-		}
-		for k, v := range m.BatchHist {
-			agg.BatchHist[k] += v
-		}
+func (se *ShardedEngine) Snapshot() telemetry.EngineSnapshot {
+	name, params := se.ModelInfo()
+	es := telemetry.EngineSnapshot{
+		Generation:      se.generation.Load(),
+		Reloads:         se.reloads.Load(),
+		RejectedBundles: se.rejected.Load(),
+		ModelName:       name,
+		Params:          params,
+		Shards:          make([]telemetry.ShardSnapshot, len(se.shards)),
 	}
-	return agg
-}
-
-// Metrics returns the aggregate counter snapshot summed across every shard.
-func (se *ShardedEngine) Metrics() Metrics {
-	return aggregate(se.ShardMetrics())
-}
-
-// ShardMetrics returns one counter snapshot per shard, index-aligned with
-// the dispatcher's shard numbering.
-func (se *ShardedEngine) ShardMetrics() []Metrics {
-	out := make([]Metrics, len(se.shards))
 	for i, sh := range se.shards {
-		out[i] = sh.Metrics()
+		snap := sh.Snapshot()
+		snap.Shard = i
+		es.Shards[i] = snap
 	}
-	return out
+	return es
 }

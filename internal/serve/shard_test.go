@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"prestroid/internal/telemetry"
 	"prestroid/internal/tensor"
 	"prestroid/internal/workload"
 )
@@ -157,8 +158,10 @@ func TestShardedSaturationFallback(t *testing.T) {
 // and have no model, so any path other than the home cache hit would hang
 // or panic.
 func TestShardedDetourChecksHomeCache(t *testing.T) {
-	home := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4, 0)}
-	other := &Engine{jobs: make(chan *predictJob, 1), cache: newPredictionCache(4, 0)}
+	home := &Engine{jobs: make(chan *predictJob, 1), tel: telemetry.NewShardGroup()}
+	home.cache = newPredictionCache(4, 0, &home.tel.CacheHits, &home.tel.CacheMisses)
+	other := &Engine{jobs: make(chan *predictJob, 1), tel: telemetry.NewShardGroup()}
+	other.cache = newPredictionCache(4, 0, &other.tel.CacheHits, &other.tel.CacheMisses)
 	se := &ShardedEngine{shards: []*Engine{home, other}}
 
 	sql := keyForShard(t, se, 0)
@@ -173,7 +176,7 @@ func TestShardedDetourChecksHomeCache(t *testing.T) {
 	if got != want {
 		t.Fatalf("detour returned %+v, want home-cached %+v", got, want)
 	}
-	if hits, misses := other.cache.Counters(); hits != 0 || misses != 0 {
+	if hits, misses := other.tel.CacheHits.Load(), other.tel.CacheMisses.Load(); hits != 0 || misses != 0 {
 		t.Fatalf("detour shard cache touched (%d/%d) for a home-cached answer", hits, misses)
 	}
 }
@@ -228,8 +231,9 @@ func TestShardsOverlapModelCalls(t *testing.T) {
 	}
 }
 
-// TestShardedMetricsAggregate checks the aggregate snapshot is the exact
-// sum of the per-shard snapshots and that the cache budget is segmented.
+// TestShardedMetricsAggregate checks the totals of one engine snapshot are
+// the exact sum of its per-shard groups and that the cache budget is
+// segmented.
 func TestShardedMetricsAggregate(t *testing.T) {
 	// Cache sized so each shard's segment (48/4 = 12) holds every key that
 	// could land on it: no evictions, so the second round is all hits.
@@ -239,8 +243,9 @@ func TestShardedMetricsAggregate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	agg := se.Metrics()
-	per := se.ShardMetrics()
+	snap := se.Snapshot()
+	agg := snap.Totals()
+	per := snap.Shards
 	if len(per) != 4 {
 		t.Fatalf("shard metrics = %d entries, want 4", len(per))
 	}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ExpositionLine matches one sample line of the text exposition format
+// (`name value` or `name{labels} value`). It is the single Go-side
+// definition of the grammar WritePrometheus emits — the golden test and
+// the serve endpoint test both validate against it, so a format change
+// must update writer and pattern together. scripts/e2e_smoke.sh carries a
+// python transliteration of this pattern that must be kept in sync.
+var ExpositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$`)
+
+// statusClasses labels EndpointResponses.Classes in the exposition.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the serving binary takes no client
+// dependency. Metric names carry the prestroid_ prefix; per-shard series
+// carry a shard label. Output order is deterministic, which the golden test
+// pins: scrapers don't care, but diffs and operators do.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	p := &promWriter{w: w}
+
+	p.header("prestroid_build_info", "Build metadata of the serving binary; the value is always 1.", "gauge")
+	p.printf("prestroid_build_info{go_version=%s,version=%s} 1\n",
+		quoteLabel(s.GoVersion), quoteLabel(s.Version))
+	p.header("prestroid_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.printf("prestroid_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
+	p.header("prestroid_go_goroutines", "Goroutines at scrape time.", "gauge")
+	p.printf("prestroid_go_goroutines %d\n", s.Goroutines)
+
+	p.header("prestroid_requests_total", "Serving requests received (predict/explain; admin traffic excluded).", "counter")
+	p.printf("prestroid_requests_total %d\n", s.Requests)
+	p.header("prestroid_request_errors_total", "Serving requests answered with an error status.", "counter")
+	p.printf("prestroid_request_errors_total %d\n", s.Errors)
+
+	p.header("prestroid_request_latency_seconds", "Serving-request latency over every terminal path.", "histogram")
+	p.histogram("prestroid_request_latency_seconds", "", s.Latency, 1e6)
+
+	p.header("prestroid_http_responses_total", "Responses by endpoint and status class, covering every route.", "counter")
+	for _, ep := range s.Responses {
+		for c, n := range ep.Classes {
+			if n > 0 {
+				p.printf("prestroid_http_responses_total{endpoint=%s,status=%q} %d\n",
+					quoteLabel(ep.Endpoint), statusClasses[c], n)
+			}
+		}
+	}
+
+	e := s.Engine
+	p.header("prestroid_generation", "Predictor-identity generation completed on every shard.", "gauge")
+	p.printf("prestroid_generation %d\n", e.Generation)
+	p.header("prestroid_reloads_total", "Completed bundle rolls (weight-only or full).", "counter")
+	p.printf("prestroid_reloads_total %d\n", e.Reloads)
+	p.header("prestroid_reload_rejected_total", "Reload attempts rejected before touching any replica.", "counter")
+	p.printf("prestroid_reload_rejected_total %d\n", e.RejectedBundles)
+	p.header("prestroid_model_parameters", "Parameter count of the live model identity.", "gauge")
+	p.printf("prestroid_model_parameters{model=%s} %d\n", quoteLabel(e.ModelName), e.Params)
+	p.header("prestroid_shards", "Live shard (model replica) count.", "gauge")
+	p.printf("prestroid_shards %d\n", len(e.Shards))
+
+	p.shardSeries("prestroid_shard_batches_total", "Coalesced batches flushed, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.Batches })
+	p.shardSeries("prestroid_shard_coalesced_total", "Queries served through flushed batches, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.Coalesced })
+	p.header("prestroid_shard_batch_size", "Deduplicated rows per flushed batch, per shard.", "histogram")
+	for _, sh := range e.Shards {
+		p.histogram("prestroid_shard_batch_size", fmt.Sprintf(`shard="%d"`, sh.Shard), sh.BatchSizes, 1)
+	}
+	p.shardSeries("prestroid_shard_cache_hits_total", "Prediction-cache hits, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.CacheHits })
+	p.shardSeries("prestroid_shard_cache_misses_total", "Prediction-cache misses, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.CacheMisses })
+	p.shardSeries("prestroid_shard_cache_entries", "Live prediction-cache entries, per shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 { return int64(s.CacheEntries) })
+	p.shardSeries("prestroid_shard_queue_depth", "Jobs waiting in the batcher queue, per shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 { return int64(s.Queued) })
+	p.shardSeries("prestroid_shard_generation", "Predictor-identity generation serving on each shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 { return s.Generation })
+	return p.err
+}
+
+// promWriter accumulates the first write error so callers check once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// shardSeries writes one HELP/TYPE header and a shard-labelled series per
+// shard, so every per-shard metric shares one emission path.
+func (p *promWriter) shardSeries(name, help, typ string, shards []ShardSnapshot, value func(ShardSnapshot) int64) {
+	p.header(name, help, typ)
+	for _, sh := range shards {
+		p.printf("%s{shard=\"%d\"} %d\n", name, sh.Shard, value(sh))
+	}
+}
+
+// histogram writes the cumulative bucket/sum/count series of one histogram.
+// scale divides observed values into exposition units (1e6 for
+// microseconds→seconds); extraLabel, when non-empty, is prepended inside
+// every series' label set.
+func (p *promWriter) histogram(name, extraLabel string, h HistogramSnapshot, scale float64) {
+	open, suffix := "{", ""
+	if extraLabel != "" {
+		open = "{" + extraLabel + ","
+		suffix = "{" + extraLabel + "}"
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		p.printf("%s_bucket%sle=%q} %d\n", name, open,
+			formatFloat(float64(bound)/scale), cum)
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	p.printf("%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	p.printf("%s_sum%s %s\n", name, suffix, formatFloat(float64(h.Sum)/scale))
+	p.printf("%s_count%s %d\n", name, suffix, cum)
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// the exposition format's number syntax.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelEscaper rewrites exactly the three sequences the exposition format
+// defines for label values. Anything else — tabs, control bytes, UTF-8 —
+// passes through raw, as the format requires; strconv.Quote would emit
+// \t/\xNN escapes Prometheus parsers reject.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// quoteLabel escapes a label value per the exposition format and wraps it
+// in double quotes.
+func quoteLabel(v string) string { return `"` + labelEscaper.Replace(v) + `"` }

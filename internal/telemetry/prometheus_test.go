@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenSnapshot builds a fully-populated fixed snapshot. The latency
+// histogram uses three small buckets so the golden text stays readable; the
+// shard histograms use the real batch buckets.
+func goldenSnapshot() Snapshot {
+	lat := NewHistogram([]int64{1000, 10000, 100000})
+	lat.Observe(500)
+	lat.Observe(2000)
+	lat.Observe(2_000_000)
+
+	bs0 := NewHistogram(BatchBuckets())
+	for _, v := range []int64{1, 1, 1, 2, 5} {
+		bs0.Observe(v)
+	}
+	bs1 := NewHistogram(BatchBuckets())
+	bs1.Observe(1)
+	bs1.Observe(1)
+
+	return Snapshot{
+		UptimeSeconds: 12.5,
+		GoVersion:     "go1.24.0",
+		Version:       "(devel)",
+		Goroutines:    9,
+		Requests:      42,
+		Errors:        3,
+		Latency:       lat.Snapshot(),
+		Responses: []EndpointResponses{
+			{Endpoint: "/v1/predict", Classes: [5]int64{0, 40, 0, 2, 0}},
+			{Endpoint: "/v1/stats", Classes: [5]int64{0, 1, 0, 0, 0}},
+			{Endpoint: "/healthz"}, // all-zero: no series emitted
+		},
+		Engine: EngineSnapshot{
+			Generation:      2,
+			Reloads:         1,
+			RejectedBundles: 1,
+			ModelName:       "prestroid",
+			Params:          12345,
+			Shards: []ShardSnapshot{
+				{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
+					CacheHits: 7, CacheMisses: 5, CacheEntries: 4, Queued: 1, Generation: 2},
+				{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
+					CacheMisses: 2, CacheEntries: 2, Generation: 2},
+			},
+		},
+	}
+}
+
+// goldenExposition pins the exact exposition output: metric names, HELP and
+// TYPE lines, label sets (shard labels included) and value formatting. A
+// diff here means the scrape contract changed — rename dashboards and
+// alerts along with it.
+const goldenExposition = `# HELP prestroid_build_info Build metadata of the serving binary; the value is always 1.
+# TYPE prestroid_build_info gauge
+prestroid_build_info{go_version="go1.24.0",version="(devel)"} 1
+# HELP prestroid_uptime_seconds Seconds since the server started.
+# TYPE prestroid_uptime_seconds gauge
+prestroid_uptime_seconds 12.5
+# HELP prestroid_go_goroutines Goroutines at scrape time.
+# TYPE prestroid_go_goroutines gauge
+prestroid_go_goroutines 9
+# HELP prestroid_requests_total Serving requests received (predict/explain; admin traffic excluded).
+# TYPE prestroid_requests_total counter
+prestroid_requests_total 42
+# HELP prestroid_request_errors_total Serving requests answered with an error status.
+# TYPE prestroid_request_errors_total counter
+prestroid_request_errors_total 3
+# HELP prestroid_request_latency_seconds Serving-request latency over every terminal path.
+# TYPE prestroid_request_latency_seconds histogram
+prestroid_request_latency_seconds_bucket{le="0.001"} 1
+prestroid_request_latency_seconds_bucket{le="0.01"} 2
+prestroid_request_latency_seconds_bucket{le="0.1"} 2
+prestroid_request_latency_seconds_bucket{le="+Inf"} 3
+prestroid_request_latency_seconds_sum 2.0025
+prestroid_request_latency_seconds_count 3
+# HELP prestroid_http_responses_total Responses by endpoint and status class, covering every route.
+# TYPE prestroid_http_responses_total counter
+prestroid_http_responses_total{endpoint="/v1/predict",status="2xx"} 40
+prestroid_http_responses_total{endpoint="/v1/predict",status="4xx"} 2
+prestroid_http_responses_total{endpoint="/v1/stats",status="2xx"} 1
+# HELP prestroid_generation Predictor-identity generation completed on every shard.
+# TYPE prestroid_generation gauge
+prestroid_generation 2
+# HELP prestroid_reloads_total Completed bundle rolls (weight-only or full).
+# TYPE prestroid_reloads_total counter
+prestroid_reloads_total 1
+# HELP prestroid_reload_rejected_total Reload attempts rejected before touching any replica.
+# TYPE prestroid_reload_rejected_total counter
+prestroid_reload_rejected_total 1
+# HELP prestroid_model_parameters Parameter count of the live model identity.
+# TYPE prestroid_model_parameters gauge
+prestroid_model_parameters{model="prestroid"} 12345
+# HELP prestroid_shards Live shard (model replica) count.
+# TYPE prestroid_shards gauge
+prestroid_shards 2
+# HELP prestroid_shard_batches_total Coalesced batches flushed, per shard.
+# TYPE prestroid_shard_batches_total counter
+prestroid_shard_batches_total{shard="0"} 5
+prestroid_shard_batches_total{shard="1"} 2
+# HELP prestroid_shard_coalesced_total Queries served through flushed batches, per shard.
+# TYPE prestroid_shard_coalesced_total counter
+prestroid_shard_coalesced_total{shard="0"} 9
+prestroid_shard_coalesced_total{shard="1"} 2
+# HELP prestroid_shard_batch_size Deduplicated rows per flushed batch, per shard.
+# TYPE prestroid_shard_batch_size histogram
+prestroid_shard_batch_size_bucket{shard="0",le="1"} 3
+prestroid_shard_batch_size_bucket{shard="0",le="2"} 4
+prestroid_shard_batch_size_bucket{shard="0",le="4"} 4
+prestroid_shard_batch_size_bucket{shard="0",le="8"} 5
+prestroid_shard_batch_size_bucket{shard="0",le="16"} 5
+prestroid_shard_batch_size_bucket{shard="0",le="32"} 5
+prestroid_shard_batch_size_bucket{shard="0",le="+Inf"} 5
+prestroid_shard_batch_size_sum{shard="0"} 10
+prestroid_shard_batch_size_count{shard="0"} 5
+prestroid_shard_batch_size_bucket{shard="1",le="1"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="2"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="4"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="8"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="16"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="32"} 2
+prestroid_shard_batch_size_bucket{shard="1",le="+Inf"} 2
+prestroid_shard_batch_size_sum{shard="1"} 2
+prestroid_shard_batch_size_count{shard="1"} 2
+# HELP prestroid_shard_cache_hits_total Prediction-cache hits, per shard.
+# TYPE prestroid_shard_cache_hits_total counter
+prestroid_shard_cache_hits_total{shard="0"} 7
+prestroid_shard_cache_hits_total{shard="1"} 0
+# HELP prestroid_shard_cache_misses_total Prediction-cache misses, per shard.
+# TYPE prestroid_shard_cache_misses_total counter
+prestroid_shard_cache_misses_total{shard="0"} 5
+prestroid_shard_cache_misses_total{shard="1"} 2
+# HELP prestroid_shard_cache_entries Live prediction-cache entries, per shard.
+# TYPE prestroid_shard_cache_entries gauge
+prestroid_shard_cache_entries{shard="0"} 4
+prestroid_shard_cache_entries{shard="1"} 2
+# HELP prestroid_shard_queue_depth Jobs waiting in the batcher queue, per shard.
+# TYPE prestroid_shard_queue_depth gauge
+prestroid_shard_queue_depth{shard="0"} 1
+prestroid_shard_queue_depth{shard="1"} 0
+# HELP prestroid_shard_generation Predictor-identity generation serving on each shard.
+# TYPE prestroid_shard_generation gauge
+prestroid_shard_generation{shard="0"} 2
+prestroid_shard_generation{shard="1"} 2
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if got != goldenExposition {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(goldenExposition, "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Fatalf("exposition diverges at line %d:\n got: %q\nwant: %q", i+1, g, w)
+			}
+		}
+		t.Fatal("exposition differs from golden")
+	}
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !ExpositionLine.MatchString(line) {
+			t.Fatalf("line %d does not parse as exposition format: %q", i+1, line)
+		}
+		names[strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]] = true
+	}
+	for _, name := range []string{
+		"prestroid_requests_total",
+		"prestroid_request_latency_seconds_bucket",
+		"prestroid_shard_generation",
+		"prestroid_reload_rejected_total",
+	} {
+		if !names[name] {
+			t.Fatalf("expected metric %s in exposition", name)
+		}
+	}
+	// Every metric carries the namespace prefix.
+	for name := range names {
+		if !strings.HasPrefix(name, "prestroid_") {
+			t.Fatalf("metric %s missing prestroid_ prefix", name)
+		}
+	}
+}
+
+// TestWritePrometheusEscaping pins label-value escaping: the exposition
+// format defines exactly three escapes (backslash, double quote, newline);
+// anything else — here a tab — must pass through raw, because \t-style
+// escapes are rejected by Prometheus parsers.
+func TestWritePrometheusEscaping(t *testing.T) {
+	s := goldenSnapshot()
+	s.Engine.ModelName = "we\"ird\\na\tme\n"
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := `prestroid_model_parameters{model="we\"ird\\na` + "\t" + `me\n"} 12345`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("escaped series not found; want %q in exposition", want)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !ExpositionLine.MatchString(line) {
+			t.Fatalf("escaped label broke the format: %q", line)
+		}
+	}
+}

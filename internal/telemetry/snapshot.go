@@ -1,0 +1,184 @@
+package telemetry
+
+// ShardGroup is the per-shard counter group: one per engine shard, written
+// by that shard's batcher and cache with atomic adds only. Gauges that are
+// properties of other structures (queue depth, cache entries, weight
+// generation) are sampled by the owner at snapshot time rather than
+// mirrored on every change.
+type ShardGroup struct {
+	Batches     Counter // coalesced groups flushed
+	Coalesced   Counter // queries served through those groups
+	CacheHits   Counter
+	CacheMisses Counter
+	BatchSizes  *Histogram // deduplicated rows per flushed batch
+}
+
+// NewShardGroup builds a shard group with the standard batch-size buckets.
+func NewShardGroup() *ShardGroup {
+	return &ShardGroup{BatchSizes: NewHistogram(BatchBuckets())}
+}
+
+// Snapshot folds the group's counters with the gauges the owner sampled at
+// call time. The caller fills in the shard index.
+func (g *ShardGroup) Snapshot(queued, cacheEntries int, generation int64) ShardSnapshot {
+	return ShardSnapshot{
+		Batches:      g.Batches.Load(),
+		Coalesced:    g.Coalesced.Load(),
+		BatchSizes:   g.BatchSizes.Snapshot(),
+		CacheHits:    g.CacheHits.Load(),
+		CacheMisses:  g.CacheMisses.Load(),
+		CacheEntries: cacheEntries,
+		Queued:       queued,
+		Generation:   generation,
+	}
+}
+
+// ShardSnapshot is one shard's slice of an EngineSnapshot.
+type ShardSnapshot struct {
+	Shard        int
+	Batches      int64
+	Coalesced    int64
+	BatchSizes   HistogramSnapshot
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+	Queued       int
+	Generation   int64
+}
+
+// EngineSnapshot is the sharded engine's full telemetry state: per-shard
+// groups plus the roll counters and the live model identity.
+type EngineSnapshot struct {
+	// Generation is the full-identity generation of the last reload that
+	// completed on every shard; during a roll individual shards run ahead.
+	Generation int64
+	// Reloads counts completed rolls (weight-only or full-bundle);
+	// RejectedBundles counts reload attempts refused before any replica was
+	// touched (decode or validation failure).
+	Reloads         int64
+	RejectedBundles int64
+	ModelName       string
+	Params          int
+	Shards          []ShardSnapshot
+}
+
+// ShardTotals is the cross-shard sum of one EngineSnapshot — derived from
+// the same per-shard numbers a presenter shows next to it, so the aggregate
+// and the breakdown can never disagree.
+type ShardTotals struct {
+	Batches      int64
+	Coalesced    int64
+	BatchSizes   HistogramSnapshot
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+	Queued       int
+}
+
+// Totals sums the snapshot's per-shard groups.
+func (e EngineSnapshot) Totals() ShardTotals {
+	var t ShardTotals
+	for _, s := range e.Shards {
+		t.Batches += s.Batches
+		t.Coalesced += s.Coalesced
+		t.BatchSizes = t.BatchSizes.Merge(s.BatchSizes)
+		t.CacheHits += s.CacheHits
+		t.CacheMisses += s.CacheMisses
+		t.CacheEntries += s.CacheEntries
+		t.Queued += s.Queued
+	}
+	return t
+}
+
+// HTTPGroup instruments the HTTP front end: serving-request totals and
+// latency (prediction traffic only — admin endpoints stay out of the
+// serving counters) plus per-endpoint response-class counters covering
+// every route.
+type HTTPGroup struct {
+	Requests  Counter    // serving requests (predict/explain)
+	Errors    Counter    // serving requests answered with an error status
+	Latency   *Histogram // serving-request latency in microseconds
+	Responses *ResponseCounters
+}
+
+// NewHTTPGroup builds the front-end group over a fixed endpoint set.
+func NewHTTPGroup(endpoints ...string) *HTTPGroup {
+	return &HTTPGroup{
+		Latency:   NewHistogram(LatencyBuckets()),
+		Responses: NewResponseCounters(endpoints...),
+	}
+}
+
+// ResponseCounters counts responses per (endpoint, status class). The
+// endpoint set is fixed at construction, so observation is a read-only map
+// lookup plus one atomic add — no mutex.
+type ResponseCounters struct {
+	endpoints []string
+	index     map[string]int
+	counts    [][5]Counter // [endpoint][class 1xx..5xx]
+}
+
+// NewResponseCounters builds counters for a fixed endpoint list, reported in
+// the given order.
+func NewResponseCounters(endpoints ...string) *ResponseCounters {
+	rc := &ResponseCounters{
+		endpoints: endpoints,
+		index:     make(map[string]int, len(endpoints)),
+		counts:    make([][5]Counter, len(endpoints)),
+	}
+	for i, ep := range endpoints {
+		rc.index[ep] = i
+	}
+	return rc
+}
+
+// Observe counts one response. Unknown endpoints and out-of-range statuses
+// are dropped rather than panicking a live handler.
+func (rc *ResponseCounters) Observe(endpoint string, status int) {
+	i, ok := rc.index[endpoint]
+	if !ok {
+		return
+	}
+	class := status/100 - 1
+	if class < 0 || class >= 5 {
+		return
+	}
+	rc.counts[i][class].Inc()
+}
+
+// EndpointResponses is one endpoint's response-class counts; Classes[0] is
+// 1xx through Classes[4] = 5xx.
+type EndpointResponses struct {
+	Endpoint string
+	Classes  [5]int64
+}
+
+// Snapshot copies the counters in registration order.
+func (rc *ResponseCounters) Snapshot() []EndpointResponses {
+	out := make([]EndpointResponses, len(rc.endpoints))
+	for i, ep := range rc.endpoints {
+		out[i].Endpoint = ep
+		for c := range out[i].Classes {
+			out[i].Classes[c] = rc.counts[i][c].Load()
+		}
+	}
+	return out
+}
+
+// Snapshot is the single source every presenter consumes: one consistent
+// read of process, front-end and engine telemetry. /v1/stats and /metrics
+// are both pure functions of this struct, which is what keeps the JSON and
+// Prometheus views from drifting.
+type Snapshot struct {
+	UptimeSeconds float64
+	GoVersion     string
+	Version       string // main module version from build info
+	Goroutines    int
+
+	Requests  int64
+	Errors    int64
+	Latency   HistogramSnapshot // microseconds
+	Responses []EndpointResponses
+
+	Engine EngineSnapshot
+}

@@ -1,0 +1,53 @@
+// Package telemetry is the lock-free instrumentation core of the serving
+// stack. Every hot-path observation — a request latency, a cache hit, a
+// flushed batch — is a handful of atomic adds with no mutex anywhere, so
+// instrumentation never contends with the traffic it measures. All state
+// rolls up into one Snapshot that every presenter (the /v1/stats JSON view
+// and the Prometheus /metrics exposition) derives from, so the two views can
+// never drift: they are two renderings of the same numbers.
+//
+// The package deliberately owns no clock and no HTTP handler. Owners sample
+// their gauges (queue depth, cache entries, generation) at snapshot time and
+// pass them in; presenters live with their endpoints in the serve layer.
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use. Counters are not copyable once used (they embed an atomic).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative to keep the counter monotone.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+var (
+	buildOnce    sync.Once
+	buildGo      string
+	buildVersion string
+)
+
+// BuildInfo reports the Go toolchain version and the main module version the
+// binary was built from (via runtime/debug.ReadBuildInfo). Module version is
+// "unknown" when build info is unavailable (e.g. non-module builds) and
+// "(devel)" for un-tagged development builds.
+func BuildInfo() (goVersion, version string) {
+	buildOnce.Do(func() {
+		buildGo = runtime.Version()
+		buildVersion = "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+			buildVersion = bi.Main.Version
+		}
+	})
+	return buildGo, buildVersion
+}

@@ -3,7 +3,10 @@
 # distinguishable weight bundles, serve the first, hammer /v1/predict with
 # sustained traffic while POST /v1/reload rolls the second bundle through
 # the live shards, then assert the reported weight generation advanced with
-# zero failed requests and that SIGTERM drains the daemon cleanly.
+# zero failed requests and that SIGTERM drains the daemon cleanly. Along the
+# way, scrape GET /metrics under load and assert the Prometheus exposition
+# parses line by line and agrees with the /v1/stats JSON on monotone
+# counters (both render one telemetry snapshot).
 #
 # Run from anywhere: ./scripts/e2e_smoke.sh
 set -euo pipefail
@@ -73,6 +76,57 @@ if [[ "$gen_before" != "1" ]]; then
   exit 1
 fi
 
+echo "== scrape /metrics under load: parse + agree with /v1/stats"
+# Taken back-to-back while the hammers run: every non-comment line must be
+# `name value` or `name{labels} value`, and since both views render one
+# telemetry snapshot, monotone counters scraped first can never exceed the
+# JSON read taken after.
+curl -fsS "$base/metrics" >"$work/metrics.txt"
+ct=$(curl -fsS -o /dev/null -w '%{content_type}' "$base/metrics")
+case "$ct" in
+  "text/plain; version=0.0.4"*) ;;
+  *) echo "unexpected /metrics content type: $ct" >&2; exit 1 ;;
+esac
+curl -fsS "$base/v1/stats" >"$work/stats.json"
+python3 - "$work/metrics.txt" "$work/stats.json" <<'PY'
+import json, re, sys
+
+# Transliteration of telemetry.ExpositionLine (internal/telemetry/
+# prometheus.go) — keep the two patterns in sync.
+line_re = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})?'
+    r' (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$')
+series = {}
+for n, line in enumerate(open(sys.argv[1]), 1):
+    line = line.rstrip("\n")
+    if not line or line.startswith("# HELP ") or line.startswith("# TYPE "):
+        continue
+    m = line_re.match(line)
+    assert m, f"metrics line {n} does not parse as exposition format: {line!r}"
+    name, _, value = line.rpartition(" ")
+    series[name] = float(value)
+assert series, "empty /metrics exposition"
+assert all(k.split("{")[0].startswith("prestroid_") for k in series), \
+    "metric without prestroid_ prefix"
+
+stats = json.load(open(sys.argv[2]))
+# /metrics was scraped first: its monotone counters are a lower bound on the
+# later JSON view, and generation can only have advanced.
+assert series["prestroid_requests_total"] <= stats["requests"], \
+    (series["prestroid_requests_total"], stats["requests"])
+assert series["prestroid_requests_total"] > 0, "no requests visible under load"
+assert series["prestroid_generation"] <= stats["weight_generation"]
+shard_hits = sum(v for k, v in series.items()
+                 if k.startswith("prestroid_shard_cache_hits_total{"))
+assert shard_hits <= stats["cache_hits"], (shard_hits, stats["cache_hits"])
+assert int(series["prestroid_shards"]) == stats["replicas"]
+assert series["prestroid_go_goroutines"] > 0
+assert series["prestroid_uptime_seconds"] > 0
+print(f"ok: {len(series)} series parsed; requests {int(series['prestroid_requests_total'])}"
+      f" <= {stats['requests']}, {int(series['prestroid_shards'])} shards")
+PY
+
 curl -fsS -X POST "$base/v1/reload" -d "{\"weights\":\"$work/gen2.bin\"}" >"$work/reload.json"
 cat "$work/reload.json"; echo
 python3 -c '
@@ -101,6 +155,15 @@ assert s["requests"] > 0, s["requests"]
 assert all(sh["generation"] == 2 for sh in s["shards"]), s["shards"]
 print("ok: generation 2 on", len(s["shards"]), "shards after", s["requests"], "requests, 0 errors")
 '
+# The completed roll is visible on the Prometheus surface too.
+curl -fsS "$base/metrics" | grep -qx "prestroid_reloads_total 1" || {
+  echo "/metrics does not report the completed roll" >&2
+  exit 1
+}
+curl -fsS "$base/metrics" | grep -qx "prestroid_generation 2" || {
+  echo "/metrics does not report generation 2" >&2
+  exit 1
+}
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"
