@@ -410,9 +410,68 @@ func BenchmarkShardedDistinctTemplates(b *testing.B) {
 			cfg := serve.DefaultConfig()
 			cfg.Replicas = replicas
 			cfg.CacheSize = 0 // keys never repeat; skip cache bookkeeping
+			// Zero-reuse baseline: with the sub-tree cache on, the OOV
+			// fallback makes unseen constants featurize identically, so even
+			// "distinct" constants would replay pooled conv outputs.
+			cfg.SubtreeCacheSize = 0
 			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
 			defer eng.Close()
 			driveClients(b, eng.PredictSQL, distinctSQL)
 		})
+	}
+}
+
+// overlappingSQL returns the i-th query of a structurally-overlapping
+// workload: only the LIMIT constant varies, which lands in the plan node's
+// Detail field and is never featurized — so every query has a distinct
+// canonical key (the prediction cache absorbs nothing) but flattens to
+// identical trees, the case the sub-tree partial-result cache is built for.
+func overlappingSQL(i int64) string {
+	return fmt.Sprintf(
+		"SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > 5 AND b < 9 ORDER BY a LIMIT %d", i+1)
+}
+
+// BenchmarkShardedOverlappingTemplates is the sub-tree cache's headline
+// case against BenchmarkShardedDistinctTemplates: same prediction-cache-
+// defeating setup (CacheSize 0), but the queries overlap structurally, so
+// after the first miss every conv stack forward is replaced by a cache
+// replay and only the dense head runs per query.
+func BenchmarkShardedOverlappingTemplates(b *testing.B) {
+	pred := servePredictor(b)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := serve.DefaultConfig()
+			cfg.Replicas = replicas
+			cfg.CacheSize = 0 // distinct canonical keys; only sub-tree reuse helps
+			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
+			defer eng.Close()
+			driveClients(b, eng.PredictSQL, overlappingSQL)
+		})
+	}
+}
+
+// BenchmarkPrestroidPredictSteady measures the steady-state arena-backed
+// inference path on a single prepared trace: after warm-up the scratch
+// arenas are at their high-water mark and PredictInto must report 0
+// allocs/op (gated by scripts/bench_record.sh).
+func BenchmarkPrestroidPredictSteady(b *testing.B) {
+	pred := servePredictor(b)
+	m, ok := pred.Model.(*models.Prestroid)
+	if !ok {
+		b.Fatalf("serve predictor wraps %T, want *models.Prestroid", pred.Model)
+	}
+	plan, err := logicalplan.PlanSQL("SELECT a FROM t WHERE a > 5 AND b < 9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := []*workload.Trace{{SQL: "steady", Plan: plan, Template: -1}}
+	dst := make([]float64, 1)
+	for i := 0; i < 3; i++ { // encode the trace, grow arenas to high water
+		m.PredictInto(batch, dst)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictInto(batch, dst)
 	}
 }

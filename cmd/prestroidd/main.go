@@ -29,8 +29,14 @@
 // many model replicas (each with its own batcher goroutine and cache
 // segment) the dispatcher fans coalesced batches out to, -max-batch and
 // -max-wait tune each shard's micro-batching coalescer, -cache-size the
-// total LRU budget over canonicalized SQL (see the serve-layer and
-// operations sections of the README).
+// total LRU budget over canonicalized SQL, and -subtree-cache-size the total
+// budget of pooled sub-tree convolution outputs reused across structurally
+// overlapping plans (see the serve-layer, performance and operations
+// sections of the README).
+//
+// The Go profiling surface (net/http/pprof) is served on the same mux under
+// /debug/pprof/, behind the same guard as /v1/reload: the -reload-token
+// bearer credential when set, loopback-only otherwise.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the HTTP server stops
 // accepting work, in-flight handlers finish, then the engine quiesces and
@@ -68,11 +74,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", defaults.MaxBatch, "max queries coalesced into one model batch (<=1 disables batching)")
 	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
 	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL, split across shards (0 disables)")
+	subtreeCacheSize := flag.Int("subtree-cache-size", defaults.SubtreeCacheSize, "pooled sub-tree convolution outputs cached per content hash, split across shards (0 disables)")
 	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
-	reloadToken := flag.String("reload-token", "", "bearer token required on POST /v1/reload; when empty, reload is loopback-only")
+	reloadToken := flag.String("reload-token", "", "bearer token required on the admin surfaces (POST /v1/reload, /debug/pprof/); when empty, they are loopback-only")
 	flag.Parse()
 
-	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize, Replicas: *replicas}
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize,
+		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas}
 	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, full: *bundlePath}
 	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken); err != nil {
 		log.Fatal("prestroidd: ", err)
@@ -137,8 +145,8 @@ func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg 
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d)",
-		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize)
+	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d, subtree cache %d)",
+		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()

@@ -98,6 +98,33 @@ type PipelineRebuilder interface {
 	RebuildWithPipeline(pipe *Pipeline) (Model, error)
 }
 
+// ConvCache memoises pooled tree-convolution outputs keyed by the flattened
+// tree's content hash (treecnn.Tree.Hash). A model consults it on the
+// inference fast path (IntoPredictor): a hit replaces an entire conv stack
+// forward over that sub-tree.
+//
+// Concurrency contract: unlike the model itself, a ConvCache MUST be safe
+// for concurrent use — the conv workers of one Predict call invoke it from
+// several goroutines at once. Get's returned slice must stay immutable and
+// valid indefinitely; Put must copy the values, whose backing slice is only
+// valid for the duration of the call. Entries are only valid for the weights
+// they were computed under — whoever swaps weights must invalidate the cache
+// before the next prediction (internal/serve does both under one lock).
+type ConvCache interface {
+	Get(hash uint64) ([]float64, bool)
+	Put(hash uint64, pooled []float64)
+}
+
+// IntoPredictor is the optional zero-copy inference extension: PredictInto
+// writes one prediction per batch element into the caller-owned dst (len ≥
+// len(batch)), byte-identical to Predict, without returning model-owned
+// memory. Serving layers use it so no tensor escapes the model's lock, and
+// implementations back it with scratch arenas so a warmed-up call performs
+// no heap allocation.
+type IntoPredictor interface {
+	PredictInto(batch []*workload.Trace, dst []float64)
+}
+
 // PipelineConfig configures the shared feature pipeline.
 type PipelineConfig struct {
 	Pf       int // Word2Vec feature size

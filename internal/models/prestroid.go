@@ -83,6 +83,15 @@ type Prestroid struct {
 	// trace, so concurrent replicas divide the cores dynamically instead
 	// of every replica assuming it owns the whole host.
 	sem chan struct{}
+
+	// convCache, when set, memoises pooled conv outputs by tree hash on the
+	// PredictInto fast path. It must be concurrency-safe (see ConvCache).
+	convCache ConvCache
+
+	// Inference scratch, never shared between models: arenas backs the
+	// per-worker conv scratch and headArena the batch features + dense head.
+	arenas    *tensor.ArenaPool
+	headArena *tensor.Arena
 }
 
 // NewPrestroid builds the model over a shared pipeline.
@@ -111,13 +120,15 @@ func NewPrestroid(cfg PrestroidConfig, pipe *Pipeline) *Prestroid {
 	head = append(head, nn.NewDense(in, 1, rng), nn.NewSigmoid())
 
 	m := &Prestroid{
-		cfg:   cfg,
-		pipe:  pipe,
-		conv:  conv,
-		head:  head,
-		loss:  nn.NewHuberLoss(1),
-		opt:   nn.NewAdam(cfg.LR),
-		cache: make(map[*workload.Trace][]*treecnn.Tree),
+		cfg:       cfg,
+		pipe:      pipe,
+		conv:      conv,
+		head:      head,
+		loss:      nn.NewHuberLoss(1),
+		opt:       nn.NewAdam(cfg.LR),
+		cache:     make(map[*workload.Trace][]*treecnn.Tree),
+		arenas:    tensor.NewArenaPool(0),
+		headArena: tensor.NewArena(0),
 	}
 	m.params = append(m.params, conv.Params()...)
 	for _, l := range head {
@@ -193,6 +204,9 @@ func (m *Prestroid) encodeTrace(tr *workload.Trace) []*treecnn.Tree {
 			for i := range ft.Votes {
 				ft.Votes[i] = 1
 			}
+			// Votes are part of the tree's content hash; re-hash so the conv
+			// cache never conflates the ablation's trees with the originals.
+			ft.Rehash()
 		}
 		trees = append(trees, ft)
 	}
@@ -365,6 +379,105 @@ func (m *Prestroid) Predict(batch []*workload.Trace) *tensor.Tensor {
 		x = l.Forward(x, false)
 	}
 	return x
+}
+
+// SetConvCache installs a pooled-conv-output cache consulted on the
+// PredictInto fast path; nil removes it. The cache must satisfy the
+// ConvCache concurrency contract. Like SetForwardSemaphore it is not
+// synchronised against concurrent Predict calls — install it while the
+// model is quiescent. Clone does not carry the cache over: the serving
+// layer owns cache placement (one per shard) and installs it explicitly.
+func (m *Prestroid) SetConvCache(c ConvCache) { m.convCache = c }
+
+// PredictInto implements IntoPredictor: the arena-backed inference fast
+// path. Results are byte-identical to Predict — the conv stages and the
+// dense head replay the training path's operation order exactly — but all
+// intermediate tensors live in model-owned arenas and the outputs land in
+// the caller's dst, so a warmed-up call performs no heap allocation and no
+// model-owned memory escapes.
+func (m *Prestroid) PredictInto(batch []*workload.Trace, dst []float64) {
+	if len(dst) < len(batch) {
+		panic("models: PredictInto dst shorter than batch")
+	}
+	m.Prepare(batch)
+	feats := m.headArena.Get(len(batch), m.slots()*m.conv.OutDim())
+	m.inferConv(batch, feats)
+	x := nn.ForwardInference(m.head, feats, m.headArena)
+	copy(dst[:len(batch)], x.Data)
+	m.headArena.Reset()
+}
+
+// inferConv fills out (batch, slots*convOut) with pooled conv features,
+// fanning traces across cores exactly like forward but through the
+// arena/cache path. out must not live in the conv workers' arenas.
+func (m *Prestroid) inferConv(batch []*workload.Trace, out *tensor.Tensor) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		a := m.arenas.Get()
+		for bi, tr := range batch {
+			m.inferOne(bi, tr, out, a)
+		}
+		m.arenas.Put(a)
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := m.arenas.Get()
+			defer m.arenas.Put(a)
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= len(batch) {
+					return
+				}
+				if m.sem != nil {
+					m.sem <- struct{}{}
+				}
+				m.inferOne(bi, batch[bi], out, a)
+				if m.sem != nil {
+					<-m.sem
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// inferOne convolves one trace's trees into row bi of out, serving each
+// sub-tree from the conv cache when its pooled output is already known and
+// depositing fresh results otherwise. Safe to call from multiple goroutines
+// for distinct bi (the cache is concurrency-safe by contract).
+func (m *Prestroid) inferOne(bi int, tr *workload.Trace, out *tensor.Tensor, a *tensor.Arena) {
+	trees := m.cache[tr]
+	k := m.slots()
+	od := m.conv.OutDim()
+	row := out.Row(bi)
+	for ti, tree := range trees {
+		if ti >= k {
+			break
+		}
+		slot := row[ti*od : (ti+1)*od]
+		if m.convCache != nil && tree.Hash != 0 {
+			if v, ok := m.convCache.Get(tree.Hash); ok {
+				copy(slot, v)
+				continue
+			}
+		}
+		pooled := m.conv.ForwardInference(tree, a)
+		copy(slot, pooled.Data)
+		a.Reset()
+		if m.convCache != nil && tree.Hash != 0 {
+			m.convCache.Put(tree.Hash, slot)
+		}
+	}
+	// Missing sub-trees (fewer than K samples) stay zero — the paper's
+	// padding of short queries.
 }
 
 // ParamCount returns trainable scalars.

@@ -32,6 +32,18 @@ func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardArena is the inference fast path: max(0, x) into arena scratch,
+// leaving the training mask untouched.
+func (r *ReLU) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	out := a.Get(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
 // Backward passes gradients only through positive activations.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := gradOut.Clone()
@@ -63,6 +75,16 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardArena is the inference fast path: the logistic function into arena
+// scratch, without caching the output for backward.
+func (s *Sigmoid) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	out := a.Get(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	return out
+}
+
 // Backward multiplies by σ(x)(1-σ(x)).
 func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := gradOut.Clone()
@@ -88,6 +110,16 @@ func NewTanh() *Tanh { return &Tanh{} }
 func (t *Tanh) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	out := x.Map(math.Tanh)
 	t.lastOut = out
+	return out
+}
+
+// ForwardArena is the inference fast path: tanh into arena scratch, without
+// caching the output for backward.
+func (t *Tanh) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	out := a.Get(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
 	return out
 }
 

@@ -92,6 +92,23 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardArena is the inference fast path: the running-statistics branch of
+// Forward, element for element, writing into arena scratch.
+func (bn *BatchNorm) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	CheckShape(x, 2, "BatchNorm")
+	m, n := x.Shape[0], x.Shape[1]
+	out := a.Get(m, n)
+	for j := 0; j < n; j++ {
+		mu := bn.RunningMean.Data[j]
+		sd := math.Sqrt(bn.RunningVar.Data[j] + bn.Eps)
+		g, b := bn.Gamma.W.Data[j], bn.Beta.W.Data[j]
+		for i := 0; i < m; i++ {
+			out.Data[i*n+j] = g*(x.Data[i*n+j]-mu)/sd + b
+		}
+	}
+	return out
+}
+
 // Backward implements the standard batch-norm gradient.
 func (bn *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	m, n := gradOut.Shape[0], gradOut.Shape[1]

@@ -35,6 +35,16 @@ func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardArena is the inference fast path: same arithmetic as Forward with
+// training=false, writing into arena scratch and caching nothing.
+func (d *Dense) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	CheckShape(x, 2, "Dense")
+	out := a.Get(x.Shape[0], d.Out)
+	tensor.MatMulInto(out, x, d.Weight.W)
+	tensor.AddRowVector(out, d.Bias.W)
+	return out
+}
+
 // Backward accumulates dL/dW = xᵀg and dL/db = Σ_batch g, returning
 // dL/dx = g Wᵀ.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {

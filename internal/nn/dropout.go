@@ -46,6 +46,12 @@ func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardArena is the inference fast path: dropout is the identity at
+// inference, so the input passes through untouched.
+func (d *Dropout) ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return x
+}
+
 // Backward applies the same mask used in the forward pass.
 func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if d.keep == nil {

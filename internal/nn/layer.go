@@ -104,6 +104,28 @@ func CheckShape(x *tensor.Tensor, dims int, who string) {
 	}
 }
 
+// ArenaForwarder is implemented by layers whose inference pass can write
+// into arena-backed scratch tensors instead of heap allocations. The output
+// must be numerically byte-identical to Forward(x, false); training caches
+// are not touched.
+type ArenaForwarder interface {
+	ForwardArena(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor
+}
+
+// ForwardInference runs layers in order using the arena fast path where a
+// layer offers one, falling back to the regular inference Forward otherwise.
+// Outputs may alias arena memory and are only valid until the arena resets.
+func ForwardInference(layers []Layer, x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	for _, l := range layers {
+		if af, ok := l.(ArenaForwarder); ok {
+			x = af.ForwardArena(x, a)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
 // Stateful is implemented by layers carrying non-trainable state that must
 // be persisted and synchronised alongside the weights (batch-norm running
 // statistics).

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prestroid/internal/logicalplan"
+	"prestroid/internal/models"
 	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
@@ -31,11 +32,19 @@ type Config struct {
 	// model to implement models.Cloner; otherwise the engine stays
 	// single-shard.
 	Replicas int
+	// SubtreeCacheSize is the total number of pooled tree-convolution
+	// outputs retained across the engine, keyed by sub-tree content hash; 0
+	// disables the cache. Like CacheSize, a ShardedEngine splits the budget
+	// evenly so each shard's replica owns an independent segment with its own
+	// mutex. It only takes effect when the model consults a conv cache
+	// (models implementing SetConvCache).
+	SubtreeCacheSize int
 }
 
 // DefaultConfig mirrors the prestroidd defaults.
 func DefaultConfig() Config {
-	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096, Replicas: DefaultReplicas()}
+	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096,
+		Replicas: DefaultReplicas(), SubtreeCacheSize: 4096}
 }
 
 // concurrentEncoder is the optional model interface that splits Prepare into
@@ -78,6 +87,11 @@ type Engine struct {
 	pred  *Predictor
 	cfg   Config
 	cache *predictionCache // nil when disabled
+
+	// convCache is the shard's sub-tree partial-result segment, installed
+	// into the replica at construction (and into its successor on a full
+	// replica swap); nil when disabled or when the model takes no conv cache.
+	convCache *subtreeCache
 
 	jobs chan *predictJob
 	quit chan struct{}
@@ -122,6 +136,13 @@ func NewEngine(pred *Predictor, cfg Config) *Engine {
 	if cfg.CacheSize > 0 {
 		e.cache = newPredictionCache(cfg.CacheSize, initialGeneration,
 			&e.tel.CacheHits, &e.tel.CacheMisses)
+	}
+	if cfg.SubtreeCacheSize > 0 {
+		if cs, ok := pred.Model.(convCacheSetter); ok {
+			e.convCache = newSubtreeCache(cfg.SubtreeCacheSize, initialGeneration,
+				&e.tel.SubtreeHits, &e.tel.SubtreeMisses)
+			cs.SetConvCache(e.convCache)
+		}
 	}
 	e.wg.Add(1)
 	go e.run()
@@ -351,7 +372,17 @@ func (e *Engine) flush(batch []*predictJob) {
 	} else {
 		m.Prepare(traces)
 	}
-	out := m.Predict(traces)
+	// The outputs land in a batcher-owned slice either way: PredictInto
+	// writes them there directly (no model-owned tensor escapes the lock,
+	// and a warmed-up arena-backed model allocates nothing), and the legacy
+	// path copies before the unlock for the same reason — the next flush may
+	// reuse the model's output buffer.
+	ys := make([]float64, len(traces))
+	if ip, ok := m.(models.IntoPredictor); ok {
+		ip.PredictInto(traces, ys)
+	} else {
+		copy(ys, m.Predict(traces).Data)
+	}
 	if ev, ok := m.(evicter); ok {
 		ev.Evict(traces)
 	}
@@ -361,7 +392,7 @@ func (e *Engine) flush(batch []*predictJob) {
 	e.tel.Coalesced.Add(int64(len(batch)))
 	e.tel.BatchSizes.Observe(int64(len(uniq)))
 	for i, j := range batch {
-		j.done <- predictResult{y: out.Data[rows[i]], gen: gen, norm: norm}
+		j.done <- predictResult{y: ys[rows[i]], gen: gen, norm: norm}
 	}
 }
 
@@ -374,5 +405,9 @@ func (e *Engine) Snapshot() telemetry.ShardSnapshot {
 	if e.cache != nil {
 		entries = e.cache.Len()
 	}
-	return e.tel.Snapshot(len(e.jobs), entries, e.weightGen.Load())
+	subEntries, subBytes := 0, int64(0)
+	if e.convCache != nil {
+		subEntries, subBytes = e.convCache.Stats()
+	}
+	return e.tel.Snapshot(len(e.jobs), entries, subEntries, subBytes, e.weightGen.Load())
 }

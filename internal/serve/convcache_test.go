@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"prestroid/internal/models"
+	"prestroid/internal/telemetry"
+)
+
+// TestSubtreeCacheLRUAndBytes pins the segment's mechanics: Put copies and
+// accounts payload bytes, Get refreshes recency and counts its own misses,
+// eviction walks from the LRU end, and Invalidate flushes everything while
+// the lifetime counters survive.
+func TestSubtreeCacheLRUAndBytes(t *testing.T) {
+	var hits, misses telemetry.Counter
+	c := newSubtreeCache(2, 1, &hits, &misses)
+
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	src := []float64{1, 2, 3}
+	c.Put(1, src)
+	src[0] = 99 // the cache must have copied
+	v, ok := c.Get(1)
+	if !ok || v[0] != 1 {
+		t.Fatalf("Get(1) = %v, %v; want the values as deposited", v, ok)
+	}
+	if e, b := c.Stats(); e != 1 || b != 24 {
+		t.Fatalf("stats = %d entries / %d bytes, want 1/24", e, b)
+	}
+
+	c.Put(2, []float64{4})
+	c.Get(1) // refresh 1 so 2 is now least recently used
+	c.Put(3, []float64{5, 6})
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU key 2 survived an over-capacity Put")
+	}
+	if e, b := c.Stats(); e != 2 || b != 24+16 {
+		t.Fatalf("stats after eviction = %d/%d, want 2/40", e, b)
+	}
+
+	c.Invalidate(2)
+	if e, b := c.Stats(); e != 0 || b != 0 {
+		t.Fatalf("stats after Invalidate = %d/%d, want 0/0", e, b)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+	if hits.Load() == 0 || misses.Load() == 0 {
+		t.Fatal("lifetime hit/miss counters were reset")
+	}
+}
+
+// clonePredictor wraps an independent replica of pred for use as a second
+// engine or a serialised reference — engines own their predictor's model, so
+// no two engines (or an engine and a reference) may share one.
+func clonePredictor(t *testing.T, pred *Predictor) *Predictor {
+	t.Helper()
+	cl, ok := pred.Model.(models.Cloner)
+	if !ok {
+		t.Fatalf("%T does not support cloning", pred.Model)
+	}
+	return &Predictor{Model: cl.Clone(), Pipe: pred.Pipe, Norm: pred.Norm}
+}
+
+// TestEngineSubtreeCacheByteIdentical is the tentpole correctness bar: with
+// the prediction cache off (every request reaches the model), an engine
+// serving through the sub-tree cache must answer bit-identically to one
+// without it — on first sight of a plan and when pooled partial results are
+// replayed, including across queries that share structure but not SQL text
+// (LIMIT is not featurized, so only the sub-tree cache can join them).
+func TestEngineSubtreeCacheByteIdentical(t *testing.T) {
+	pred := newTestPredictor(t)
+	off := NewEngine(clonePredictor(t, pred), Config{MaxBatch: 4, CacheSize: 0})
+	t.Cleanup(off.Close)
+	on := NewEngine(clonePredictor(t, pred), Config{MaxBatch: 4, CacheSize: 0, SubtreeCacheSize: 1024})
+	t.Cleanup(on.Close)
+
+	sqls := []string{
+		"SELECT a FROM t WHERE a > 5",
+		"SELECT a FROM t WHERE a > 5 LIMIT 10",
+		"SELECT a FROM t WHERE a > 5 LIMIT 20",
+		"SELECT b, c FROM u WHERE b < 3",
+		"SELECT b, c FROM u WHERE b < 3 LIMIT 7",
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, sql := range sqls {
+			want, err := off.PredictSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := on.PredictSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got.Normalized) != math.Float64bits(want.Normalized) {
+				t.Fatalf("pass %d %q: cached %v != uncached %v", pass, sql, got.Normalized, want.Normalized)
+			}
+		}
+	}
+	onSnap, offSnap := on.Snapshot(), off.Snapshot()
+	if onSnap.SubtreeHits == 0 || onSnap.SubtreeEntries == 0 || onSnap.SubtreeBytes == 0 {
+		t.Fatalf("sub-tree cache never engaged: %+v", onSnap)
+	}
+	if offSnap.SubtreeHits != 0 || offSnap.SubtreeMisses != 0 || offSnap.SubtreeEntries != 0 {
+		t.Fatalf("disabled engine reported sub-tree activity: %+v", offSnap)
+	}
+}
+
+// TestSubtreeCacheAcrossReloadRoll pins generation safety: a weight roll
+// flushes every shard's sub-tree segment under the same lock as the swap, so
+// post-roll predictions are byte-identical to a cache-free serialised
+// reference over the new weights — both the recomputation that repopulates
+// the cache and the replay that follows it.
+func TestSubtreeCacheAcrossReloadRoll(t *testing.T) {
+	pred := newTestPredictor(t)
+	cfg := DefaultConfig()
+	cfg.Replicas = 2
+	cfg.CacheSize = 0 // every request must reach the model
+	se := NewShardedEngine(Replicas(pred, cfg.Replicas), cfg)
+	t.Cleanup(se.Close)
+
+	sql := "SELECT a FROM t WHERE a > 5"
+	for _, sh := range se.shards { // warm every shard's segment
+		for i := 0; i < 2; i++ {
+			if _, err := sh.PredictSQL(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tot := se.Snapshot().Totals(); tot.SubtreeHits == 0 || tot.SubtreeEntries == 0 {
+		t.Fatalf("warm-up did not engage the sub-tree caches: %+v", tot)
+	}
+
+	bundle, reference := perturbedBundle(t, pred, 0.25)
+	want, err := reference.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Reload(bytes.NewReader(bundle)); err != nil {
+		t.Fatal(err)
+	}
+	if tot := se.Snapshot().Totals(); tot.SubtreeEntries != 0 || tot.SubtreeBytes != 0 {
+		t.Fatalf("roll left stale sub-tree entries: %+v", tot)
+	}
+	for si, sh := range se.shards {
+		for i := 0; i < 2; i++ { // miss-then-hit, both on the new weights
+			got, err := sh.PredictSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got.Normalized) != math.Float64bits(want.Normalized) {
+				t.Fatalf("shard %d call %d: %v != new-weight reference %v", si, i, got.Normalized, want.Normalized)
+			}
+		}
+	}
+}
+
+func pprofGet(t *testing.T, srv *Server, path, remote, token string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = remote
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+// TestPprofGuard pins the profiling surface's trust boundary: the same
+// guard as /v1/reload — loopback-only by default, bearer token for remote
+// access once configured (and then required even from loopback).
+func TestPprofGuard(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	if w := pprofGet(t, srv, "/debug/pprof/", "192.0.2.7:1000", ""); w.Code != http.StatusForbidden {
+		t.Fatalf("remote pprof without token = %d, want 403", w.Code)
+	}
+	if w := pprofGet(t, srv, "/debug/pprof/", "127.0.0.1:1000", ""); w.Code != http.StatusOK {
+		t.Fatalf("loopback pprof index = %d: %s", w.Code, w.Body)
+	}
+	if w := pprofGet(t, srv, "/debug/pprof/heap?debug=1", "127.0.0.1:1000", ""); w.Code != http.StatusOK {
+		t.Fatalf("loopback heap profile = %d", w.Code)
+	}
+
+	srv.SetReloadToken("sekrit")
+	if w := pprofGet(t, srv, "/debug/pprof/", "127.0.0.1:1000", ""); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless pprof with token configured = %d, want 401", w.Code)
+	}
+	if w := pprofGet(t, srv, "/debug/pprof/heap?debug=1", "192.0.2.7:1000", "sekrit"); w.Code != http.StatusOK {
+		t.Fatalf("remote pprof with valid token = %d", w.Code)
+	}
+}

@@ -84,6 +84,12 @@ func (e *Engine) swapWeights(src models.Model, gen int64) error {
 	if e.cache != nil {
 		e.cache.Invalidate(gen)
 	}
+	// Pooled conv outputs belong to the weights that computed them; flushing
+	// under the same lock as the swap means no stale entry can survive into —
+	// or be deposited after — the new generation.
+	if e.convCache != nil {
+		e.convCache.Invalidate(gen)
+	}
 	return nil
 }
 
@@ -108,6 +114,15 @@ func (e *Engine) swapReplica(m models.Model, pipe *models.Pipeline, norm workloa
 	e.weightGen.Store(gen)
 	if e.cache != nil {
 		e.cache.Invalidate(gen)
+	}
+	// The shard's sub-tree cache segment outlives the replica: flush it and
+	// hand it to the incoming model (clones never inherit a conv cache —
+	// placement belongs to the serving layer, here).
+	if e.convCache != nil {
+		e.convCache.Invalidate(gen)
+		if cs, ok := m.(convCacheSetter); ok {
+			cs.SetConvCache(e.convCache)
+		}
 	}
 }
 

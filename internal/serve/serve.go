@@ -22,6 +22,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -97,13 +98,23 @@ func (p *Predictor) predictTrace(tr *workload.Trace) (float64, workload.Normaliz
 // predictTraceLocked is the model round trip with p.mu already held; the
 // engine's serialised fallback calls it directly so it can read the shard's
 // weight generation under the same critical section as the model call.
+// Models with the arena-backed PredictInto path write into a stack buffer —
+// byte-identical to Predict, without a result tensor escaping the lock.
 func (p *Predictor) predictTraceLocked(tr *workload.Trace) float64 {
-	p.Model.Prepare([]*workload.Trace{tr})
-	out := p.Model.Predict([]*workload.Trace{tr})
-	if ev, ok := p.Model.(evicter); ok {
-		ev.Evict([]*workload.Trace{tr})
+	batch := []*workload.Trace{tr}
+	var y float64
+	if ip, ok := p.Model.(models.IntoPredictor); ok {
+		var dst [1]float64
+		ip.PredictInto(batch, dst[:])
+		y = dst[0]
+	} else {
+		p.Model.Prepare(batch)
+		y = p.Model.Predict(batch).Data[0]
 	}
-	return out.Data[0]
+	if ev, ok := p.Model.(evicter); ok {
+		ev.Evict(batch)
+	}
+	return y
 }
 
 // Stats is the /v1/stats JSON view. It is a pure rendering of one
@@ -135,6 +146,16 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
+	// The subtree_cache_* block covers the per-shard sub-tree convolution
+	// caches: hits are pooled conv outputs served without a forward pass,
+	// misses are sub-tree convolutions actually computed. Entries and bytes
+	// are sampled gauges summed across shards.
+	SubtreeHits    int64   `json:"subtree_cache_hits"`
+	SubtreeMisses  int64   `json:"subtree_cache_misses"`
+	SubtreeHitRate float64 `json:"subtree_cache_hit_rate"`
+	SubtreeEntries int     `json:"subtree_cache_entries"`
+	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
+
 	// WeightGeneration is the generation of the last reload — weight-only or
 	// full-bundle — that completed on every shard; the counter covers the
 	// full predictor identity (pipeline, normaliser, weights). Reloads
@@ -155,15 +176,19 @@ type Stats struct {
 // shard's batch and cache counters plus its queue depth at snapshot time,
 // so operators can see skew across the dispatcher's hash space.
 type ShardStats struct {
-	Shard        int     `json:"shard"`
-	Batches      int64   `json:"batches"`
-	Coalesced    int64   `json:"coalesced"`
-	AvgBatchSize float64 `json:"avg_batch_size"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheEntries int     `json:"cache_entries"`
-	Queued       int     `json:"queued"`
-	Generation   int64   `json:"generation"`
+	Shard          int     `json:"shard"`
+	Batches        int64   `json:"batches"`
+	Coalesced      int64   `json:"coalesced"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEntries   int     `json:"cache_entries"`
+	SubtreeHits    int64   `json:"subtree_cache_hits"`
+	SubtreeMisses  int64   `json:"subtree_cache_misses"`
+	SubtreeEntries int     `json:"subtree_cache_entries"`
+	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
+	Queued         int     `json:"queued"`
+	Generation     int64   `json:"generation"`
 }
 
 // endpoints is the server's fixed route table, which doubles as the label
@@ -175,6 +200,7 @@ var endpoints = []string{
 	"/v1/stats",
 	"/v1/reload",
 	"/metrics",
+	"/debug/pprof/", // subtree pattern: every profile subpath lands here
 }
 
 // Server is the HTTP front end over the sharded inference engine. It holds
@@ -187,8 +213,9 @@ type Server struct {
 	eng *ShardedEngine
 	mux *http.ServeMux
 
-	// reloadToken, when non-empty, is the bearer token required on
-	// POST /v1/reload; when empty, reload is restricted to loopback peers.
+	// reloadToken, when non-empty, is the bearer token required on the admin
+	// surfaces (POST /v1/reload and /debug/pprof/); when empty, they are
+	// restricted to loopback peers.
 	reloadToken string
 
 	tel     *telemetry.HTTPGroup
@@ -217,6 +244,7 @@ func NewServerConfig(pred *Predictor, cfg Config) *Server {
 	s.handle("/v1/stats", s.handleStats)
 	s.handle("/v1/reload", s.handleReload)
 	s.handle("/metrics", s.handleMetrics)
+	s.handle("/debug/pprof/", s.handlePprof)
 	return s
 }
 
@@ -253,9 +281,10 @@ func (w *statusWriter) Status() int {
 	return w.status
 }
 
-// SetReloadToken guards POST /v1/reload with a bearer token; callers from
-// any peer address may reload with the token. With no token set (the
-// default), reload is only accepted from loopback addresses.
+// SetReloadToken guards the admin surfaces — POST /v1/reload and the
+// /debug/pprof/ profiles — with a bearer token; callers from any peer
+// address may use them with the token. With no token set (the default), they
+// are only accepted from loopback addresses.
 func (s *Server) SetReloadToken(token string) { s.reloadToken = token }
 
 // Engine exposes the underlying sharded dispatcher, e.g. for benchmarks.
@@ -428,11 +457,11 @@ type reloadResponse struct {
 	Millis     float64 `json:"millis"`
 }
 
-// authorizeReload enforces the admin guard on /v1/reload: with a token
-// configured, the request must carry it as a bearer credential; without
-// one, only loopback peers may reload. It returns the HTTP status to use on
-// rejection.
-func (s *Server) authorizeReload(r *http.Request) (int, error) {
+// authorizeAdmin enforces the guard shared by the admin surfaces —
+// /v1/reload and /debug/pprof/ — with a token configured, the request must
+// carry it as a bearer credential; without one, only loopback peers are
+// admitted. It returns the HTTP status to use on rejection.
+func (s *Server) authorizeAdmin(r *http.Request) (int, error) {
 	if s.reloadToken != "" {
 		got := r.Header.Get("Authorization")
 		want := "Bearer " + s.reloadToken
@@ -446,9 +475,35 @@ func (s *Server) authorizeReload(r *http.Request) (int, error) {
 		host = r.RemoteAddr
 	}
 	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
-		return http.StatusForbidden, errors.New("reload is restricted to loopback; start the server with a reload token to allow remote reloads")
+		return http.StatusForbidden, errors.New("admin endpoint is restricted to loopback; start the server with a reload token to allow remote access")
 	}
 	return 0, nil
+}
+
+// handlePprof serves the net/http/pprof surface on the service mux, behind
+// the same guard as /v1/reload: bearer token when one is configured, loopback
+// peers otherwise. Profiles expose query text fragments and memory contents,
+// so they get exactly the admin trust boundary, not the open serving one. The
+// subtree route keeps the standard URL layout (/debug/pprof/heap,
+// .../profile?seconds=30, ...) so `go tool pprof` works unchanged; named
+// runtime profiles fall through to Index, which dispatches them itself.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if code, err := s.authorizeAdmin(r); err != nil {
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
 }
 
 // handleReload is the admin endpoint that hot-swaps a retrained bundle into
@@ -466,7 +521,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed: use POST"})
 		return
 	}
-	if code, err := s.authorizeReload(r); err != nil {
+	if code, err := s.authorizeAdmin(r); err != nil {
 		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
@@ -558,6 +613,10 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 		CacheHits:        tot.CacheHits,
 		CacheMisses:      tot.CacheMisses,
 		CacheEntries:     tot.CacheEntries,
+		SubtreeHits:      tot.SubtreeHits,
+		SubtreeMisses:    tot.SubtreeMisses,
+		SubtreeEntries:   tot.SubtreeEntries,
+		SubtreeBytes:     tot.SubtreeBytes,
 		WeightGeneration: snap.Engine.Generation,
 		Reloads:          snap.Engine.Reloads,
 		RejectedReloads:  snap.Engine.RejectedBundles,
@@ -574,16 +633,23 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 	if lookups := tot.CacheHits + tot.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(tot.CacheHits) / float64(lookups)
 	}
+	if lookups := tot.SubtreeHits + tot.SubtreeMisses; lookups > 0 {
+		st.SubtreeHitRate = float64(tot.SubtreeHits) / float64(lookups)
+	}
 	for _, m := range snap.Engine.Shards {
 		sh := ShardStats{
-			Shard:        m.Shard,
-			Batches:      m.Batches,
-			Coalesced:    m.Coalesced,
-			CacheHits:    m.CacheHits,
-			CacheMisses:  m.CacheMisses,
-			CacheEntries: m.CacheEntries,
-			Queued:       m.Queued,
-			Generation:   m.Generation,
+			Shard:          m.Shard,
+			Batches:        m.Batches,
+			Coalesced:      m.Coalesced,
+			CacheHits:      m.CacheHits,
+			CacheMisses:    m.CacheMisses,
+			CacheEntries:   m.CacheEntries,
+			SubtreeHits:    m.SubtreeHits,
+			SubtreeMisses:  m.SubtreeMisses,
+			SubtreeEntries: m.SubtreeEntries,
+			SubtreeBytes:   m.SubtreeBytes,
+			Queued:         m.Queued,
+			Generation:     m.Generation,
 		}
 		if m.Batches > 0 {
 			sh.AvgBatchSize = float64(m.Coalesced) / float64(m.Batches)

@@ -103,8 +103,9 @@ type modelIdent struct {
 }
 
 // NewShardedEngine starts one batcher per predictor (typically built with
-// Replicas). cfg.CacheSize is the total cache budget, split evenly across
-// shards; cfg.Replicas is ignored — len(preds) decides the shard count.
+// Replicas). cfg.CacheSize and cfg.SubtreeCacheSize are total cache budgets,
+// split evenly across shards; cfg.Replicas is ignored — len(preds) decides
+// the shard count.
 // Callers must Close the engine to release the batcher goroutines.
 func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 	if len(preds) == 0 {
@@ -113,6 +114,9 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 	per := cfg
 	if cfg.CacheSize > 0 {
 		per.CacheSize = (cfg.CacheSize + len(preds) - 1) / len(preds)
+	}
+	if cfg.SubtreeCacheSize > 0 {
+		per.SubtreeCacheSize = (cfg.SubtreeCacheSize + len(preds) - 1) / len(preds)
 	}
 	se := &ShardedEngine{shards: make([]*Engine, len(preds))}
 	se.generation.Store(initialGeneration)

@@ -1,0 +1,54 @@
+package subtree
+
+import (
+	"hash/fnv"
+
+	"prestroid/internal/otp"
+	"prestroid/internal/sqlparse"
+)
+
+// structural-hash sentinels: absent children and field separators must be
+// distinguishable from empty strings and from each other, or two different
+// shapes could fold to one digest (e.g. table "ab"+"" vs ""+"ab").
+const (
+	hashNilChild  = 0x9e3779b97f4a7c15
+	hashFieldMark = 0xff51afd7ed558ccd
+)
+
+// Hash returns a canonical Merkle-style structural digest of the O-T-P tree
+// rooted at n: each node hashes its type, operator, table identity and
+// predicate text together with its children's digests, so equal structure
+// yields equal hashes and any single-node mutation (operator, table,
+// predicate, or shape) changes the root digest. A nil node has a fixed
+// non-zero digest.
+//
+// The digest deliberately covers only plan structure, not encoded features:
+// it identifies "the same subplan" across queries, which is what the
+// partial-result reuse story needs at the planning level. (The serving-layer
+// conv cache keys on treecnn.Tree.Hash instead, because encoded features
+// also depend on query-global vocabulary fallbacks.)
+func Hash(n *otp.Node) uint64 {
+	if n == nil {
+		return hashNilChild
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(n.Type))
+	put(uint64(n.Op))
+	put(hashFieldMark)
+	h.Write([]byte(n.Table))
+	put(hashFieldMark)
+	if n.Pred != nil {
+		h.Write([]byte(sqlparse.ExprString(n.Pred)))
+	}
+	put(hashFieldMark)
+	put(Hash(n.Left))
+	put(Hash(n.Right))
+	return h.Sum64()
+}

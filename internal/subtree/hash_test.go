@@ -1,0 +1,151 @@
+package subtree
+
+import (
+	"testing"
+
+	"prestroid/internal/otp"
+	"prestroid/internal/sqlparse"
+	"prestroid/internal/workload"
+)
+
+// hashCorpus recasts a generated plan sample into O-T-P trees — a few
+// hundred plans spanning chains, balanced shapes and the Pareto tail.
+func hashCorpus(t *testing.T) []*otp.Node {
+	t.Helper()
+	plans := workload.GeneratePlanSample(workload.PlanSampleConfig{
+		Count: 200, Seed: 11, MaxNodes: 300, TailFraction: 0.05,
+	})
+	roots := make([]*otp.Node, len(plans))
+	for i, p := range plans {
+		roots[i] = otp.Recast(p)
+	}
+	return roots
+}
+
+// cloneNode deep-copies an O-T-P tree, sharing only the (immutable)
+// predicate expressions.
+func cloneNode(n *otp.Node) *otp.Node {
+	if n == nil {
+		return nil
+	}
+	return &otp.Node{
+		Type:  n.Type,
+		Op:    n.Op,
+		Table: n.Table,
+		Pred:  n.Pred,
+		Left:  cloneNode(n.Left),
+		Right: cloneNode(n.Right),
+	}
+}
+
+func TestHashEqualStructureEqualHash(t *testing.T) {
+	for _, root := range hashCorpus(t) {
+		if got, want := Hash(cloneNode(root)), Hash(root); got != want {
+			t.Fatalf("clone hashed to %#x, original %#x", got, want)
+		}
+		if Hash(root) != Hash(root) {
+			t.Fatal("hash is not deterministic")
+		}
+	}
+}
+
+func TestHashDistinguishesCorpus(t *testing.T) {
+	// Structurally distinct plans must (overwhelmingly) hash apart. The
+	// generator can emit duplicate small plans, so compare only plans whose
+	// rendered structure differs.
+	roots := hashCorpus(t)
+	seen := make(map[uint64]string, len(roots))
+	for _, root := range roots {
+		h := Hash(root)
+		sig := structureSignature(root)
+		if prev, ok := seen[h]; ok && prev != sig {
+			t.Fatalf("distinct structures collided on %#x", h)
+		}
+		seen[h] = sig
+	}
+	if len(seen) < 50 {
+		t.Fatalf("corpus collapsed to %d distinct hashes", len(seen))
+	}
+}
+
+// structureSignature renders a tree to a canonical string, the ground truth
+// the hash is checked against.
+func structureSignature(n *otp.Node) string {
+	if n == nil {
+		return "_"
+	}
+	pred := ""
+	if n.Pred != nil {
+		pred = sqlparse.ExprString(n.Pred)
+	}
+	return "(" + n.Type.String() + "|" + string(rune('0'+int(n.Op))) + "|" + n.Table + "|" + pred +
+		structureSignature(n.Left) + structureSignature(n.Right) + ")"
+}
+
+// TestHashMutationSensitivity mutates every node of every tree, one field at
+// a time, and asserts the root hash changes each time.
+func TestHashMutationSensitivity(t *testing.T) {
+	roots := hashCorpus(t)
+	if len(roots) > 40 {
+		roots = roots[:40]
+	}
+	for _, root := range roots {
+		base := Hash(root)
+		var nodes []*otp.Node
+		root.Walk(func(n *otp.Node) { nodes = append(nodes, n) })
+		for i, n := range nodes {
+			// Mutate the operator.
+			origOp := n.Op
+			n.Op++
+			if Hash(root) == base {
+				t.Fatalf("op mutation at node %d did not change the hash", i)
+			}
+			n.Op = origOp
+
+			// Mutate the table identity.
+			origTable := n.Table
+			n.Table += "_mut"
+			if Hash(root) == base {
+				t.Fatalf("table mutation at node %d did not change the hash", i)
+			}
+			n.Table = origTable
+
+			// Mutate the node type.
+			origType := n.Type
+			n.Type = (n.Type + 1) % 4
+			if Hash(root) == base {
+				t.Fatalf("type mutation at node %d did not change the hash", i)
+			}
+			n.Type = origType
+
+			// Mutate the shape: swapping asymmetric children must re-hash.
+			if structureSignature(n.Left) != structureSignature(n.Right) {
+				n.Left, n.Right = n.Right, n.Left
+				if Hash(root) == base {
+					t.Fatalf("child swap at node %d did not change the hash", i)
+				}
+				n.Left, n.Right = n.Right, n.Left
+			}
+			if Hash(root) != base {
+				t.Fatalf("restore at node %d did not recover the hash", i)
+			}
+		}
+	}
+}
+
+func TestHashNilAndLeaves(t *testing.T) {
+	if Hash(nil) == 0 {
+		t.Fatal("nil hash must be a fixed non-zero sentinel")
+	}
+	a := &otp.Node{Type: otp.NodeTbl, Table: "ab"}
+	b := &otp.Node{Type: otp.NodeTbl, Table: "a"}
+	if Hash(a) == Hash(b) {
+		t.Fatal("different tables must hash apart")
+	}
+	// A node with a left-only table child must differ from right-only.
+	l := &otp.Node{Type: otp.NodeOpr, Left: a}
+	r := &otp.Node{Type: otp.NodeOpr, Right: a}
+	if Hash(l) == Hash(r) {
+		t.Fatal("child position must affect the hash")
+	}
+}

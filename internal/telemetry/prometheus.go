@@ -80,6 +80,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		e.Shards, func(s ShardSnapshot) int64 { return s.CacheMisses })
 	p.shardSeries("prestroid_shard_cache_entries", "Live prediction-cache entries, per shard.", "gauge",
 		e.Shards, func(s ShardSnapshot) int64 { return int64(s.CacheEntries) })
+	p.shardSeries("prestroid_shard_subtree_cache_hits_total", "Sub-tree convolution cache hits, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeHits })
+	p.shardSeries("prestroid_shard_subtree_cache_misses_total", "Sub-tree convolutions computed (cache misses), per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeMisses })
+	p.shardSeries("prestroid_shard_subtree_cache_entries", "Live sub-tree cache entries, per shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 { return int64(s.SubtreeEntries) })
+	p.shardSeries("prestroid_shard_subtree_cache_bytes", "Payload bytes held by the sub-tree cache, per shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeBytes })
 	p.shardSeries("prestroid_shard_queue_depth", "Jobs waiting in the batcher queue, per shard.", "gauge",
 		e.Shards, func(s ShardSnapshot) int64 { return int64(s.Queued) })
 	p.shardSeries("prestroid_shard_generation", "Predictor-identity generation serving on each shard.", "gauge",

@@ -43,9 +43,13 @@ func goldenSnapshot() Snapshot {
 			Params:          12345,
 			Shards: []ShardSnapshot{
 				{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
-					CacheHits: 7, CacheMisses: 5, CacheEntries: 4, Queued: 1, Generation: 2},
+					CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
+					SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
+					Queued: 1, Generation: 2},
 				{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
-					CacheMisses: 2, CacheEntries: 2, Generation: 2},
+					CacheMisses: 2, CacheEntries: 2,
+					SubtreeMisses: 2, SubtreeEntries: 2, SubtreeBytes: 256,
+					Generation: 2},
 			},
 		},
 	}
@@ -138,6 +142,22 @@ prestroid_shard_cache_misses_total{shard="1"} 2
 # TYPE prestroid_shard_cache_entries gauge
 prestroid_shard_cache_entries{shard="0"} 4
 prestroid_shard_cache_entries{shard="1"} 2
+# HELP prestroid_shard_subtree_cache_hits_total Sub-tree convolution cache hits, per shard.
+# TYPE prestroid_shard_subtree_cache_hits_total counter
+prestroid_shard_subtree_cache_hits_total{shard="0"} 11
+prestroid_shard_subtree_cache_hits_total{shard="1"} 0
+# HELP prestroid_shard_subtree_cache_misses_total Sub-tree convolutions computed (cache misses), per shard.
+# TYPE prestroid_shard_subtree_cache_misses_total counter
+prestroid_shard_subtree_cache_misses_total{shard="0"} 6
+prestroid_shard_subtree_cache_misses_total{shard="1"} 2
+# HELP prestroid_shard_subtree_cache_entries Live sub-tree cache entries, per shard.
+# TYPE prestroid_shard_subtree_cache_entries gauge
+prestroid_shard_subtree_cache_entries{shard="0"} 3
+prestroid_shard_subtree_cache_entries{shard="1"} 2
+# HELP prestroid_shard_subtree_cache_bytes Payload bytes held by the sub-tree cache, per shard.
+# TYPE prestroid_shard_subtree_cache_bytes gauge
+prestroid_shard_subtree_cache_bytes{shard="0"} 384
+prestroid_shard_subtree_cache_bytes{shard="1"} 256
 # HELP prestroid_shard_queue_depth Jobs waiting in the batcher queue, per shard.
 # TYPE prestroid_shard_queue_depth gauge
 prestroid_shard_queue_depth{shard="0"} 1

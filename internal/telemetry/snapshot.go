@@ -6,11 +6,13 @@ package telemetry
 // generation) are sampled by the owner at snapshot time rather than
 // mirrored on every change.
 type ShardGroup struct {
-	Batches     Counter // coalesced groups flushed
-	Coalesced   Counter // queries served through those groups
-	CacheHits   Counter
-	CacheMisses Counter
-	BatchSizes  *Histogram // deduplicated rows per flushed batch
+	Batches       Counter // coalesced groups flushed
+	Coalesced     Counter // queries served through those groups
+	CacheHits     Counter
+	CacheMisses   Counter
+	SubtreeHits   Counter    // pooled-conv partial results served from cache
+	SubtreeMisses Counter    // sub-tree convolutions actually computed
+	BatchSizes    *Histogram // deduplicated rows per flushed batch
 }
 
 // NewShardGroup builds a shard group with the standard batch-size buckets.
@@ -19,31 +21,41 @@ func NewShardGroup() *ShardGroup {
 }
 
 // Snapshot folds the group's counters with the gauges the owner sampled at
-// call time. The caller fills in the shard index.
-func (g *ShardGroup) Snapshot(queued, cacheEntries int, generation int64) ShardSnapshot {
+// call time (queue depth, prediction-cache entries, subtree-cache entries
+// and payload bytes, weight generation). The caller fills in the shard
+// index.
+func (g *ShardGroup) Snapshot(queued, cacheEntries, subtreeEntries int, subtreeBytes, generation int64) ShardSnapshot {
 	return ShardSnapshot{
-		Batches:      g.Batches.Load(),
-		Coalesced:    g.Coalesced.Load(),
-		BatchSizes:   g.BatchSizes.Snapshot(),
-		CacheHits:    g.CacheHits.Load(),
-		CacheMisses:  g.CacheMisses.Load(),
-		CacheEntries: cacheEntries,
-		Queued:       queued,
-		Generation:   generation,
+		Batches:        g.Batches.Load(),
+		Coalesced:      g.Coalesced.Load(),
+		BatchSizes:     g.BatchSizes.Snapshot(),
+		CacheHits:      g.CacheHits.Load(),
+		CacheMisses:    g.CacheMisses.Load(),
+		CacheEntries:   cacheEntries,
+		SubtreeHits:    g.SubtreeHits.Load(),
+		SubtreeMisses:  g.SubtreeMisses.Load(),
+		SubtreeEntries: subtreeEntries,
+		SubtreeBytes:   subtreeBytes,
+		Queued:         queued,
+		Generation:     generation,
 	}
 }
 
 // ShardSnapshot is one shard's slice of an EngineSnapshot.
 type ShardSnapshot struct {
-	Shard        int
-	Batches      int64
-	Coalesced    int64
-	BatchSizes   HistogramSnapshot
-	CacheHits    int64
-	CacheMisses  int64
-	CacheEntries int
-	Queued       int
-	Generation   int64
+	Shard          int
+	Batches        int64
+	Coalesced      int64
+	BatchSizes     HistogramSnapshot
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEntries   int
+	SubtreeHits    int64
+	SubtreeMisses  int64
+	SubtreeEntries int
+	SubtreeBytes   int64
+	Queued         int
+	Generation     int64
 }
 
 // EngineSnapshot is the sharded engine's full telemetry state: per-shard
@@ -66,13 +78,17 @@ type EngineSnapshot struct {
 // the same per-shard numbers a presenter shows next to it, so the aggregate
 // and the breakdown can never disagree.
 type ShardTotals struct {
-	Batches      int64
-	Coalesced    int64
-	BatchSizes   HistogramSnapshot
-	CacheHits    int64
-	CacheMisses  int64
-	CacheEntries int
-	Queued       int
+	Batches        int64
+	Coalesced      int64
+	BatchSizes     HistogramSnapshot
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEntries   int
+	SubtreeHits    int64
+	SubtreeMisses  int64
+	SubtreeEntries int
+	SubtreeBytes   int64
+	Queued         int
 }
 
 // Totals sums the snapshot's per-shard groups.
@@ -85,6 +101,10 @@ func (e EngineSnapshot) Totals() ShardTotals {
 		t.CacheHits += s.CacheHits
 		t.CacheMisses += s.CacheMisses
 		t.CacheEntries += s.CacheEntries
+		t.SubtreeHits += s.SubtreeHits
+		t.SubtreeMisses += s.SubtreeMisses
+		t.SubtreeEntries += s.SubtreeEntries
+		t.SubtreeBytes += s.SubtreeBytes
 		t.Queued += s.Queued
 	}
 	return t

@@ -46,12 +46,22 @@ type layerState struct {
 	mask   []bool         // ReLU mask over the (n, out) output
 }
 
-// forward computes the layer output and returns the cache needed to
-// backpropagate through this specific tree.
-func (l *ConvLayer) forward(tree *Tree, x *tensor.Tensor) (*tensor.Tensor, *layerState) {
+// The forward pass is decomposed into three stages shared by the training
+// path (forward, which additionally records a layerState) and the
+// arena-backed inference path (forwardArena):
+//
+//	gather   — materialise left/right child feature rows per node
+//	project  — apply the triangular kernel Wt/Wl/Wr + bias
+//	rectify  — ReLU
+//
+// project performs the additions in the exact order of the original fused
+// expression (parent product, then +left product, then +right product, then
+// +bias) so both paths produce byte-identical floats.
+
+// gather copies each node's child feature rows into the pre-zeroed xl, xr.
+// Absent children (index -1) keep their zero rows.
+func gather(tree *Tree, x, xl, xr *tensor.Tensor) {
 	n := tree.Len()
-	xl := tensor.New(n, l.In)
-	xr := tensor.New(n, l.In)
 	for i := 0; i < n; i++ {
 		if li := tree.Left[i]; li >= 0 {
 			copy(xl.Row(i), x.Row(li))
@@ -60,10 +70,29 @@ func (l *ConvLayer) forward(tree *Tree, x *tensor.Tensor) (*tensor.Tensor, *laye
 			copy(xr.Row(i), x.Row(ri))
 		}
 	}
-	out := tensor.MatMul(x, l.Wt.W)
-	out.AddInPlace(tensor.MatMul(xl, l.Wl.W))
-	out.AddInPlace(tensor.MatMul(xr, l.Wr.W))
+}
+
+// project writes Wt·x + Wl·xl + Wr·xr + b into out, using tmp as scratch for
+// the child products. out and tmp must both be (n, Out).
+func (l *ConvLayer) project(out, tmp, x, xl, xr *tensor.Tensor) {
+	tensor.MatMulInto(out, x, l.Wt.W)
+	tensor.MatMulInto(tmp, xl, l.Wl.W)
+	out.AddInPlace(tmp)
+	tensor.MatMulInto(tmp, xr, l.Wr.W)
+	out.AddInPlace(tmp)
 	tensor.AddRowVector(out, l.B.W)
+}
+
+// forward computes the layer output and returns the cache needed to
+// backpropagate through this specific tree.
+func (l *ConvLayer) forward(tree *Tree, x *tensor.Tensor) (*tensor.Tensor, *layerState) {
+	n := tree.Len()
+	xl := tensor.New(n, l.In)
+	xr := tensor.New(n, l.In)
+	gather(tree, x, xl, xr)
+	out := tensor.New(n, l.Out)
+	tmp := tensor.New(n, l.Out)
+	l.project(out, tmp, x, xl, xr)
 
 	st := &layerState{x: x, xl: xl, xr: xr, mask: make([]bool, out.Size())}
 	for i, v := range out.Data {
@@ -74,6 +103,24 @@ func (l *ConvLayer) forward(tree *Tree, x *tensor.Tensor) (*tensor.Tensor, *laye
 		}
 	}
 	return out, st
+}
+
+// forwardArena runs the same gather/project/rectify stages with every scratch
+// tensor drawn from the arena: no heap allocation, no backward cache.
+func (l *ConvLayer) forwardArena(tree *Tree, x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	n := tree.Len()
+	xl := a.Get(n, l.In)
+	xr := a.Get(n, l.In)
+	gather(tree, x, xl, xr)
+	out := a.Get(n, l.Out)
+	tmp := a.Get(n, l.Out)
+	l.project(out, tmp, x, xl, xr)
+	for i, v := range out.Data {
+		if !(v > 0) {
+			out.Data[i] = 0
+		}
+	}
+	return out
 }
 
 // backward accumulates parameter gradients and returns dL/dx, scattering
@@ -152,6 +199,33 @@ type Context struct {
 	argmax []int // per output dim, node index that won the pooling max (-1 none)
 }
 
+// pool performs vote-masked dynamic max pooling of the (t.Len(), OutDim)
+// activations x into the pre-zeroed (1, OutDim) out. When argmax is non-nil
+// it records, per output dim, the node index that won the max (-1 if no node
+// votes) for the backward pass.
+func (n *Network) pool(t *Tree, x, out *tensor.Tensor, argmax []int) {
+	od := n.OutDim()
+	for d := 0; d < od; d++ {
+		best := math.Inf(-1)
+		bestI := -1
+		for i := 0; i < t.Len(); i++ {
+			if t.Votes[i] <= 0 {
+				continue
+			}
+			if v := x.Data[i*od+d]; v > best {
+				best = v
+				bestI = i
+			}
+		}
+		if bestI >= 0 {
+			out.Data[d] = best
+		}
+		if argmax != nil {
+			argmax[d] = bestI
+		}
+	}
+}
+
 // Forward runs the conv stack over one tree and pools the voted nodes,
 // returning a (1, OutDim) vector and the backward context.
 func (n *Network) Forward(t *Tree) (*tensor.Tensor, *Context) {
@@ -162,27 +236,24 @@ func (n *Network) Forward(t *Tree) (*tensor.Tensor, *Context) {
 		x, st = l.forward(t, x)
 		ctx.states = append(ctx.states, st)
 	}
-	// Vote-masked dynamic max pooling: only voting nodes contribute.
 	out := tensor.New(1, n.OutDim())
 	ctx.argmax = make([]int, n.OutDim())
-	for d := 0; d < n.OutDim(); d++ {
-		best := math.Inf(-1)
-		bestI := -1
-		for i := 0; i < t.Len(); i++ {
-			if t.Votes[i] <= 0 {
-				continue
-			}
-			if v := x.Data[i*n.OutDim()+d]; v > best {
-				best = v
-				bestI = i
-			}
-		}
-		if bestI >= 0 {
-			out.Data[d] = best
-		}
-		ctx.argmax[d] = bestI
-	}
+	n.pool(t, x, out, ctx.argmax)
 	return out, ctx
+}
+
+// ForwardInference runs the conv stack and pooling entirely inside the arena,
+// producing byte-identical values to Forward with zero heap allocation. The
+// returned tensor aliases arena memory and is only valid until the next
+// arena Reset.
+func (n *Network) ForwardInference(t *Tree, a *tensor.Arena) *tensor.Tensor {
+	x := t.Feats
+	for _, l := range n.Layers {
+		x = l.forwardArena(t, x, a)
+	}
+	out := a.Get(1, n.OutDim())
+	n.pool(t, x, out, nil)
+	return out
 }
 
 // Backward propagates a (1, OutDim) gradient through the pooling and conv

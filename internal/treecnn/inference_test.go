@@ -1,0 +1,89 @@
+package treecnn
+
+import (
+	"math"
+	"testing"
+
+	"prestroid/internal/subtree"
+	"prestroid/internal/tensor"
+)
+
+func TestForwardInferenceMatchesForward(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	net := NewNetwork(4, []int{6, 5}, rng)
+	a := tensor.NewArena(0)
+	for seed := uint64(0); seed < 5; seed++ {
+		tree := tinyTree(4, rng)
+		if seed == 3 {
+			tree.Votes = []float64{0, 1, 1} // vote-masked pooling path
+		}
+		if seed == 4 {
+			tree.Votes = []float64{0, 0, 0} // empty pooling path
+		}
+		want, _ := net.Forward(tree)
+		got := net.ForwardInference(tree, a)
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("seed %d: element %d differs: %v vs %v", seed, i, got.Data[i], want.Data[i])
+			}
+		}
+		a.Reset()
+	}
+}
+
+func TestForwardInferenceZeroAllocsSteadyState(t *testing.T) {
+	rng := tensor.NewRNG(32)
+	net := NewNetwork(3, []int{8, 8}, rng)
+	tree := tinyTree(3, rng)
+	a := tensor.NewArena(0)
+	net.ForwardInference(tree, a)
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		net.ForwardInference(tree, a)
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("arena conv forward allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestFlattenedTreeHashProperties(t *testing.T) {
+	enc, root, qctx := buildEncoder(t)
+
+	// Deterministic: flattening the same plan twice yields the same hash.
+	t1 := FlattenFull(root, enc, qctx)
+	t2 := FlattenFull(root, enc, qctx)
+	if t1.Hash == 0 || t1.Hash != t2.Hash {
+		t.Fatalf("flatten hashes: %#x vs %#x", t1.Hash, t2.Hash)
+	}
+
+	// Sub-tree samples of the same plan hash apart from the full tree and
+	// (in general) from one another.
+	samples, err := subtree.Sample(root, subtree.Config{N: 7, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range samples {
+		ft := FlattenSubTree(st, enc, qctx)
+		if ft.Hash == 0 {
+			t.Fatal("flattened sub-tree left unhashed")
+		}
+		if ft.Len() != t1.Len() && ft.Hash == t1.Hash {
+			t.Fatal("sub-tree collided with the full tree")
+		}
+	}
+
+	// Any feature perturbation re-hashes; so does a vote change.
+	mut := FlattenFull(root, enc, qctx)
+	mut.Feats.Data[0] += 1e-9
+	mut.Rehash()
+	if mut.Hash == t1.Hash {
+		t.Fatal("feature mutation did not change the hash")
+	}
+	mut = FlattenFull(root, enc, qctx)
+	mut.Votes[mut.Len()-1] = 0
+	mut.Rehash()
+	if mut.Hash == t1.Hash {
+		t.Fatal("vote mutation did not change the hash")
+	}
+}

@@ -6,6 +6,8 @@
 package treecnn
 
 import (
+	"math"
+
 	"prestroid/internal/otp"
 	"prestroid/internal/subtree"
 	"prestroid/internal/tensor"
@@ -19,33 +21,107 @@ type Tree struct {
 	Left  []int          // index of left child, -1 if none
 	Right []int          // index of right child, -1 if none
 	Votes []float64      // 1 = participates in pooling
+
+	// Hash is a Merkle-style digest of the tree's exact convolution input —
+	// feature rows, votes and child structure — set by the flatteners (or
+	// Rehash). Two trees with equal Hash convolve to the same output under
+	// the same weights, which is what makes pooled conv results cacheable
+	// across queries. Zero means "unhashed"; caches must skip such trees.
+	Hash uint64
 }
 
 // Len returns the number of nodes.
 func (t *Tree) Len() int { return len(t.Left) }
 
-// FlattenSubTree converts one Algorithm-1 sample into a Tree using the
-// encoder for node features. Children that fell outside the sampled window
-// become -1 (their contribution to convolution is zero — exactly the
-// boundary information loss the vote mask guards against).
-func FlattenSubTree(st subtree.SubTree, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
-	n := len(st.Nodes)
+// FNV-1a 64-bit parameters, plus a sentinel mixed in place of an absent
+// child so "no child" hashes differently from any real subtree.
+const (
+	fnvOffset64      = 14695981039346656037
+	fnvPrime64       = 1099511628211
+	missingChildHash = 0x9e3779b97f4a7c15
+)
+
+// fnvMix folds the eight bytes of v into the running FNV-1a hash h.
+func fnvMix(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Rehash recomputes t.Hash from the current features, votes and structure.
+// Per node it digests the feature row bit-patterns, the vote, and the child
+// digests (bottom-up: every flattener places children at higher indices than
+// their parents, so a reverse index sweep visits children first). The root
+// digest is mixed with the node count. Callers that mutate a flattened tree
+// (e.g. the DisableVotes ablation) must Rehash before handing it to a cache.
+func (t *Tree) Rehash() {
+	n := t.Len()
+	hs := make([]uint64, n)
+	for i := n - 1; i >= 0; i-- {
+		h := uint64(fnvOffset64)
+		for _, f := range t.Feats.Row(i) {
+			h = fnvMix(h, math.Float64bits(f))
+		}
+		h = fnvMix(h, math.Float64bits(t.Votes[i]))
+		if li := t.Left[i]; li >= 0 {
+			h = fnvMix(h, hs[li])
+		} else {
+			h = fnvMix(h, missingChildHash)
+		}
+		if ri := t.Right[i]; ri >= 0 {
+			h = fnvMix(h, hs[ri])
+		} else {
+			h = fnvMix(h, missingChildHash)
+		}
+		hs[i] = h
+	}
+	root := fnvMix(fnvOffset64, uint64(n))
+	if n > 0 {
+		root = fnvMix(root, hs[0])
+	}
+	t.Hash = root
+}
+
+// flatten is the single tree builder behind FlattenSubTree and FlattenFull:
+// it encodes the nodes' features in order, resolves child pointers to
+// indices (-1 when the child is absent or outside the node slice), installs
+// the vote mask (nil votes = every node votes) and hashes the result.
+func flatten(nodes []*otp.Node, votes []float64, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+	n := len(nodes)
 	index := make(map[*otp.Node]int, n)
-	for i, node := range st.Nodes {
+	for i, node := range nodes {
 		index[node] = i
 	}
 	tree := &Tree{
 		Feats: tensor.New(n, enc.FeatureDim()),
 		Left:  make([]int, n),
 		Right: make([]int, n),
-		Votes: append([]float64(nil), st.Votes...),
 	}
-	for i, node := range st.Nodes {
+	if votes == nil {
+		tree.Votes = make([]float64, n)
+		for i := range tree.Votes {
+			tree.Votes[i] = 1
+		}
+	} else {
+		tree.Votes = append([]float64(nil), votes...)
+	}
+	for i, node := range nodes {
 		copy(tree.Feats.Row(i), enc.NodeFeature(node, ctx))
 		tree.Left[i] = childIndex(index, node.Left)
 		tree.Right[i] = childIndex(index, node.Right)
 	}
+	tree.Rehash()
 	return tree
+}
+
+// FlattenSubTree converts one Algorithm-1 sample into a Tree using the
+// encoder for node features. Children that fell outside the sampled window
+// become -1 (their contribution to convolution is zero — exactly the
+// boundary information loss the vote mask guards against).
+func FlattenSubTree(st subtree.SubTree, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+	return flatten(st.Nodes, st.Votes, enc, ctx)
 }
 
 // FlattenFull converts a whole O-T-P tree into a single Tree with every node
@@ -68,23 +144,7 @@ func FlattenFull(root *otp.Node, enc *otp.Encoder, ctx *otp.QueryContext) *Tree 
 			queue = append(queue, n.Right)
 		}
 	}
-	index := make(map[*otp.Node]int, len(nodes))
-	for i, n := range nodes {
-		index[n] = i
-	}
-	tree := &Tree{
-		Feats: tensor.New(len(nodes), enc.FeatureDim()),
-		Left:  make([]int, len(nodes)),
-		Right: make([]int, len(nodes)),
-		Votes: make([]float64, len(nodes)),
-	}
-	for i, n := range nodes {
-		copy(tree.Feats.Row(i), enc.NodeFeature(n, ctx))
-		tree.Left[i] = childIndex(index, n.Left)
-		tree.Right[i] = childIndex(index, n.Right)
-		tree.Votes[i] = 1
-	}
-	return tree
+	return flatten(nodes, nil, enc, ctx)
 }
 
 func childIndex(index map[*otp.Node]int, child *otp.Node) int {

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate for the serve layer: run the serving benchmarks
-# (BenchmarkServePredict and BenchmarkShardedDistinctTemplates, 3 repeats of
-# one iteration each), record best-of-3 throughput per benchmark to a JSON
-# artifact, and — when a baseline file exists — fail if any benchmark's
-# throughput dropped more than the tolerance below its baseline.
+# (BenchmarkServePredict, BenchmarkSharded{Distinct,Overlapping}Templates and
+# BenchmarkPrestroidPredictSteady, 5 repeats of 100ms each with -benchmem —
+# time-based so iteration counts auto-scale from the ~300ns steady
+# micro-benchmark to the ~200µs 16-client fan-outs, whose fixed-count runs
+# flap), record median throughput and minimum allocations per benchmark to a
+# JSON artifact, and — when a baseline file exists — fail if any benchmark's
+# throughput dropped more than the tolerance below its baseline, or its
+# allocs/op rose past the allocation slack. The environment is pinned
+# (GOMAXPROCS=4, GOGC=100) so allocation and scheduling behaviour is
+# comparable across hosts and runs.
 #
 #   scripts/bench_record.sh                                    # record only
 #   scripts/bench_record.sh -baseline scripts/bench_baseline.json
@@ -29,19 +35,22 @@ done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' \
-  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates' \
-  -benchtime 1x -count 3 . | tee "$raw"
+GOMAXPROCS=4 GOGC=100 go test -run '^$' \
+  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates|BenchmarkShardedOverlappingTemplates|BenchmarkPrestroidPredictSteady' \
+  -benchtime 100ms -count 5 -benchmem . | tee "$raw"
 
 python3 - "$raw" "$out" "$tolerance" "$baseline" <<'PY'
-import json, re, sys
+import json, re, statistics, sys
 
 raw, out, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
 baseline_path = sys.argv[4] if len(sys.argv) > 4 else ""
 
-# Lines look like: BenchmarkServePredict/coalesced-8   1   123456 ns/op
-line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
-best = {}
+# Lines look like:
+#   BenchmarkServePredict/coalesced-8   1   123456 ns/op   2345 B/op   67 allocs/op
+line_re = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?")
+runs = {}
 goos = goarch = cpu = ""
 for line in open(raw):
     if line.startswith("goos:"):
@@ -54,20 +63,35 @@ for line in open(raw):
     if not m:
         continue
     name, ns = m.group(1), float(m.group(2))
-    # Best-of-count: single-iteration runs are noisy, the fastest repeat is
-    # the least-disturbed measurement.
-    if name not in best or ns < best[name]:
-        best[name] = ns
+    allocs = m.group(4)
+    runs.setdefault(name, {"ns": [], "allocs": []})
+    runs[name]["ns"].append(ns)
+    if allocs is not None:
+        runs[name]["allocs"].append(float(allocs))
 
-if not best:
+if not runs:
     sys.exit("bench_record: no benchmark results parsed from go test output")
+
+# Median throughput across repeats: robust against one lucky or one
+# disturbed repeat, either of which poisons a min/max aggregate. Allocations
+# take the minimum — they are deterministic in steady state, and the floor
+# ignores one repeat's warm-up growth.
+best = {}
+for name, v in runs.items():
+    best[name] = {"ns": statistics.median(v["ns"])}
+    if v["allocs"]:
+        best[name]["allocs"] = min(v["allocs"])
+
+def entry(v):
+    e = {"ns_per_op": v["ns"], "qps": 1e9 / v["ns"]}
+    if "allocs" in v:
+        e["allocs_per_op"] = v["allocs"]
+    return e
 
 record = {
     "goos": goos, "goarch": goarch, "cpu": cpu,
     "tolerance_pct": tolerance,
-    "benchmarks": {
-        name: {"ns_per_op": ns, "qps": 1e9 / ns} for name, ns in sorted(best.items())
-    },
+    "benchmarks": {name: entry(v) for name, v in sorted(best.items())},
 }
 with open(out, "w") as f:
     json.dump(record, f, indent=2, sort_keys=True)
@@ -88,7 +112,7 @@ for name, entry in base.get("benchmarks", {}).items():
         failures.append(f"{name}: present in baseline, missing from this run")
         continue
     base_qps = entry["qps"]
-    got_qps = 1e9 / best[name]
+    got_qps = 1e9 / best[name]["ns"]
     floor = base_qps * (1 - tolerance / 100)
     verdict = "ok" if got_qps >= floor else "REGRESSION"
     print(f"{verdict}: {name}: {got_qps:,.0f} qps vs baseline {base_qps:,.0f} "
@@ -97,7 +121,22 @@ for name, entry in base.get("benchmarks", {}).items():
         failures.append(
             f"{name}: {got_qps:,.0f} qps is more than {tolerance:.0f}% below "
             f"baseline {base_qps:,.0f}")
+    # Allocation gate: relative tolerance plus an absolute slack of 2, so a
+    # 0-allocs/op baseline (the arena path) stays a hard zero-ish gate while
+    # noisy many-alloc benchmarks get proportional headroom.
+    base_allocs = entry.get("allocs_per_op")
+    got_allocs = best[name].get("allocs")
+    if base_allocs is None or got_allocs is None:
+        continue
+    ceil = base_allocs * (1 + tolerance / 100) + 2
+    verdict = "ok" if got_allocs <= ceil else "REGRESSION"
+    print(f"{verdict}: {name}: {got_allocs:,.0f} allocs/op vs baseline "
+          f"{base_allocs:,.0f} (ceiling {ceil:,.0f})")
+    if got_allocs > ceil:
+        failures.append(
+            f"{name}: {got_allocs:,.0f} allocs/op exceeds baseline "
+            f"{base_allocs:,.0f} + slack (ceiling {ceil:,.0f})")
 if failures:
     sys.exit("benchmark regression:\n  " + "\n  ".join(failures))
-print("benchmark throughput within tolerance of baseline")
+print("benchmark throughput and allocations within tolerance of baseline")
 PY

@@ -155,12 +155,15 @@ assert s["requests"] > 0, s["requests"]
 assert all(sh["generation"] == 2 for sh in s["shards"]), s["shards"]
 print("ok: generation 2 on", len(s["shards"]), "shards after", s["requests"], "requests, 0 errors")
 '
-# The completed roll is visible on the Prometheus surface too.
-curl -fsS "$base/metrics" | grep -qx "prestroid_reloads_total 1" || {
+# The completed roll is visible on the Prometheus surface too. Scrape to a
+# file rather than piping into grep -q: under pipefail, grep exiting at the
+# first match makes curl fail with EPIPE on a large enough exposition.
+curl -fsS "$base/metrics" >"$work/metrics_after.txt"
+grep -qx "prestroid_reloads_total 1" "$work/metrics_after.txt" || {
   echo "/metrics does not report the completed roll" >&2
   exit 1
 }
-curl -fsS "$base/metrics" | grep -qx "prestroid_generation 2" || {
+grep -qx "prestroid_generation 2" "$work/metrics_after.txt" || {
   echo "/metrics does not report generation 2" >&2
   exit 1
 }
