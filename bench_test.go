@@ -280,9 +280,11 @@ func servePredictor(b *testing.B) *serve.Predictor {
 		pcfg := models.DefaultPipelineConfig(8)
 		pcfg.MinCount = 2
 		pipe := models.BuildPipeline(split.Train, pcfg)
+		// Serving-default widths ({64,64,64} conv, {32,16} dense): the serve
+		// benches measure the configuration the daemon actually ships, which
+		// is also where the kernel-mode comparison is meaningful — at toy
+		// widths the per-row fixed costs drown the projection work.
 		mcfg := models.DefaultPrestroidConfig(15, 5)
-		mcfg.ConvWidths = []int{8}
-		mcfg.DenseWidths = []int{8}
 		m := models.NewPrestroid(mcfg, pipe)
 		m.Prepare(split.Train[:32])
 		labels := dataset.Labels(split.Train[:32], norm)
@@ -453,13 +455,17 @@ func BenchmarkShardedOverlappingTemplates(b *testing.B) {
 // BenchmarkPrestroidPredictSteady measures the steady-state arena-backed
 // inference path on a single prepared trace: after warm-up the scratch
 // arenas are at their high-water mark and PredictInto must report 0
-// allocs/op (gated by scripts/bench_record.sh).
+// allocs/op (gated by scripts/bench_record.sh). It runs on a clone: engine
+// benches install their sub-tree caches on the shared fixture model, and a
+// stale cache would turn this forward into a memo replay (cloning drops it),
+// which also keeps the pairing with the Quantized twin symmetric.
 func BenchmarkPrestroidPredictSteady(b *testing.B) {
 	pred := servePredictor(b)
-	m, ok := pred.Model.(*models.Prestroid)
+	src, ok := pred.Model.(*models.Prestroid)
 	if !ok {
 		b.Fatalf("serve predictor wraps %T, want *models.Prestroid", pred.Model)
 	}
+	m := src.Clone().(*models.Prestroid)
 	plan, err := logicalplan.PlanSQL("SELECT a FROM t WHERE a > 5 AND b < 9")
 	if err != nil {
 		b.Fatal(err)
@@ -467,6 +473,139 @@ func BenchmarkPrestroidPredictSteady(b *testing.B) {
 	batch := []*workload.Trace{{SQL: "steady", Plan: plan, Template: -1}}
 	dst := make([]float64, 1)
 	for i := 0; i < 3; i++ { // encode the trace, grow arenas to high water
+		m.PredictInto(batch, dst)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictInto(batch, dst)
+	}
+}
+
+// --- int8 kernel benchmarks ---
+
+// benchConvTree builds a complete n-node tree with featDim features for the
+// projection benchmarks.
+func benchConvTree(n, featDim int, rng *tensor.RNG) *treecnn.Tree {
+	tree := &treecnn.Tree{
+		Feats: tensor.New(n, featDim),
+		Left:  make([]int, n),
+		Right: make([]int, n),
+		Votes: make([]float64, n),
+	}
+	rng.FillNorm(tree.Feats, 0, 1)
+	for i := 0; i < n; i++ {
+		tree.Left[i], tree.Right[i] = -1, -1
+		if 2*i+1 < n {
+			tree.Left[i] = 2*i + 1
+		}
+		if 2*i+2 < n {
+			tree.Right[i] = 2*i + 2
+		}
+		tree.Votes[i] = 1
+	}
+	return tree
+}
+
+// projectDims are the layer shapes the projection benchmarks sweep: the
+// serving default (narrow layers over the encoder's feature dim) and the
+// paper-scale 512-wide stack from Table 3.
+var projectDims = []struct {
+	name   string
+	in     int
+	widths []int
+}{
+	{"serving-64", 64, []int{64, 64}},
+	{"paper-512", 64, []int{512, 512, 512}},
+}
+
+// BenchmarkFloatProject measures the float projection hot path — the
+// arena-backed conv stack forward on a 15-node tree — across the shipped
+// layer dims. Baseline for BenchmarkInt8Project.
+func BenchmarkFloatProject(b *testing.B) {
+	for _, d := range projectDims {
+		b.Run(d.name, func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			net := treecnn.NewNetwork(d.in, d.widths, rng)
+			tree := benchConvTree(15, d.in, rng)
+			a := tensor.NewArena(0)
+			net.ForwardInference(tree, a) // grow the arena to high water
+			a.Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardInference(tree, a)
+				a.Reset()
+			}
+		})
+	}
+}
+
+// BenchmarkInt8Project measures the same conv stack through the int8
+// kernels: per-row activation quantisation, int8 dot products with int32
+// accumulation, fused dequantise+bias+ReLU. The acceptance gate wants
+// >= 1.5x over BenchmarkFloatProject under GOMAXPROCS=4.
+func BenchmarkInt8Project(b *testing.B) {
+	for _, d := range projectDims {
+		b.Run(d.name, func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			net := treecnn.NewNetwork(d.in, d.widths, rng)
+			net.PackInt8()
+			tree := benchConvTree(15, d.in, rng)
+			a := tensor.NewArena(0)
+			net.ForwardInferenceInt8(tree, a)
+			a.Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardInferenceInt8(tree, a)
+				a.Reset()
+			}
+		})
+	}
+}
+
+// BenchmarkShardedDistinctTemplatesQuantized is the quantised counterpart
+// of BenchmarkShardedDistinctTemplates: same cache-defeating distinct-
+// template workload, same replica sweep, but every shard serves through the
+// int8 kernels. The acceptance gate wants >= 1.2x over the float sweep at
+// the same replica count under GOMAXPROCS=4.
+func BenchmarkShardedDistinctTemplatesQuantized(b *testing.B) {
+	pred := servePredictor(b)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := serve.DefaultConfig()
+			cfg.Replicas = replicas
+			cfg.CacheSize = 0
+			cfg.SubtreeCacheSize = 0
+			cfg.Quantize = true
+			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
+			defer eng.Close()
+			driveClients(b, eng.PredictSQL, distinctSQL)
+		})
+	}
+}
+
+// BenchmarkPrestroidPredictSteadyQuantized is the int8 twin of
+// BenchmarkPrestroidPredictSteady: after warm-up the quantised path must
+// also report 0 allocs/op (gated by scripts/bench_record.sh). It runs on a
+// clone so the shared float predictor stays byte-identical for the other
+// serving benchmarks.
+func BenchmarkPrestroidPredictSteadyQuantized(b *testing.B) {
+	pred := servePredictor(b)
+	src, ok := pred.Model.(*models.Prestroid)
+	if !ok {
+		b.Fatalf("serve predictor wraps %T, want *models.Prestroid", pred.Model)
+	}
+	m := src.Clone().(*models.Prestroid)
+	m.SetQuantized(true)
+	plan, err := logicalplan.PlanSQL("SELECT a FROM t WHERE a > 5 AND b < 9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := []*workload.Trace{{SQL: "steady", Plan: plan, Template: -1}}
+	dst := make([]float64, 1)
+	for i := 0; i < 3; i++ {
 		m.PredictInto(batch, dst)
 	}
 	b.ReportAllocs()

@@ -77,10 +77,11 @@ func main() {
 	subtreeCacheSize := flag.Int("subtree-cache-size", defaults.SubtreeCacheSize, "pooled sub-tree convolution outputs cached per content hash, split across shards (0 disables)")
 	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
 	reloadToken := flag.String("reload-token", "", "bearer token required on the admin surfaces (POST /v1/reload, /debug/pprof/); when empty, they are loopback-only")
+	quantize := flag.Bool("quantize", false, "serve through the int8 quantised inference kernels (bounded prediction error, higher throughput; PRESTROID_QUANTIZE=1 forces this on)")
 	flag.Parse()
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize,
-		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas}
+		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas, Quantize: *quantize}
 	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, full: *bundlePath}
 	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken); err != nil {
 		log.Fatal("prestroidd: ", err)

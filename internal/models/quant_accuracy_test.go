@@ -1,0 +1,131 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"prestroid/internal/dataset"
+	"prestroid/internal/tensor"
+	"prestroid/internal/workload"
+)
+
+// quantAccuracyBound is the acceptance bound for the int8 path on real
+// workloads: absolute error in the normalised (0,1) prediction space, with
+// a relative component so large normalised costs get proportional slack.
+const (
+	quantAbsBound = 0.02
+	quantRelBound = 0.05
+)
+
+// quantWorkloads spans the paper's three workload families at test scale.
+var quantWorkloads = []struct {
+	name   string
+	traces func() []*workload.Trace
+}{
+	{"tpch", func() []*workload.Trace {
+		cfg := workload.DefaultTPCHConfig()
+		return workload.NewTPCHGenerator(cfg).Generate()
+	}},
+	{"tpcds", func() []*workload.Trace {
+		cfg := workload.DefaultTPCDSConfig()
+		cfg.Queries = 160
+		return workload.NewTPCDSGenerator(cfg).Generate()
+	}},
+	{"grab", func() []*workload.Trace {
+		cfg := workload.DefaultGrabConfig()
+		cfg.Queries = 200
+		return workload.NewGrabGenerator(cfg).Generate()
+	}},
+}
+
+// TestQuantizedAccuracyAcrossWorkloads trains a small Prestroid on each
+// workload family and checks the int8 path against the float path over the
+// held-out split: every prediction stays inside the error bound, and the
+// quantised ranking agrees with the float ranking for any pair the float
+// model separates by more than twice the bound — the property cost-based
+// admission control actually depends on.
+func TestQuantizedAccuracyAcrossWorkloads(t *testing.T) {
+	for _, wl := range quantWorkloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			traces := wl.traces()
+			if len(traces) < 40 {
+				t.Fatalf("generator produced only %d traces", len(traces))
+			}
+			split := dataset.SplitRandom(traces, 7)
+			norm := workload.FitNormalizer(split.Train)
+			pcfg := DefaultPipelineConfig(8)
+			pcfg.MinCount = 2
+			pipe := BuildPipeline(split.Train, pcfg)
+
+			cfg := DefaultPrestroidConfig(15, 5)
+			cfg.ConvWidths = []int{16, 16}
+			cfg.DenseWidths = []int{16}
+			m := NewPrestroid(cfg, pipe)
+			m.Prepare(split.Train)
+			m.Prepare(split.Test)
+			rng := tensor.NewRNG(11)
+			for e := 0; e < 2; e++ {
+				for _, batch := range dataset.Batches(split.Train, 32, rng) {
+					m.TrainBatch(batch, dataset.Labels(batch, norm))
+				}
+			}
+
+			test := split.Test
+			floatPred := make([]float64, len(test))
+			m.PredictInto(test, floatPred)
+
+			m.SetQuantized(true)
+			quantPred := make([]float64, len(test))
+			m.PredictInto(test, quantPred)
+
+			// Error bound: every held-out query individually.
+			worst := 0.0
+			for i := range test {
+				e := math.Abs(quantPred[i] - floatPred[i])
+				if bound := quantAbsBound + quantRelBound*math.Abs(floatPred[i]); e > bound {
+					t.Errorf("query %d: quantised %v vs float %v (err %v > bound %v)",
+						i, quantPred[i], floatPred[i], e, bound)
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+			t.Logf("%s: %d held-out queries, worst |int8-float| = %v", wl.name, len(test), worst)
+
+			// Rank order: pairs the float model clearly separates must not
+			// invert under quantisation.
+			sep := 2 * quantAbsBound
+			checked, inverted := 0, 0
+			for i := 0; i < len(test); i++ {
+				for j := i + 1; j < len(test); j++ {
+					d := floatPred[i] - floatPred[j]
+					if math.Abs(d) <= sep {
+						continue
+					}
+					checked++
+					if (d > 0) != (quantPred[i]-quantPred[j] > 0) {
+						inverted++
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("no float pair separated by more than %v; workload degenerate", sep)
+			}
+			if inverted > 0 {
+				t.Fatalf("%d of %d well-separated pairs inverted rank under quantisation", inverted, checked)
+			}
+
+			// The float path must be untouched by the round trip.
+			m.SetQuantized(false)
+			again := make([]float64, len(test))
+			m.PredictInto(test, again)
+			for i := range again {
+				if math.Float64bits(again[i]) != math.Float64bits(floatPred[i]) {
+					t.Fatalf("query %d: float path changed after quantised serving: %v vs %v",
+						i, again[i], floatPred[i])
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,7 +40,23 @@ type Config struct {
 	// mutex. It only takes effect when the model consults a conv cache
 	// (models implementing SetConvCache).
 	SubtreeCacheSize int
+	// Quantize routes inference through the model's int8 kernels when the
+	// model supports them (models.Quantizer). Predictions then carry a
+	// bounded quantisation error instead of being byte-identical to the
+	// float path; the worst error observed is exported per shard. The mode
+	// is fixed for the engine's lifetime and survives weight and full-bundle
+	// reloads (swapped-in replicas are re-quantised before serving). The
+	// PRESTROID_QUANTIZE environment variable (any non-empty value but "0")
+	// forces it on regardless of this field, so a test suite or CI job can
+	// flip a whole deployment's kernel mode without touching call sites.
+	Quantize bool
 }
+
+// envQuantize is the process-wide kernel-mode override, read once at start.
+var envQuantize = func() bool {
+	v := os.Getenv("PRESTROID_QUANTIZE")
+	return v != "" && v != "0"
+}()
 
 // DefaultConfig mirrors the prestroidd defaults.
 func DefaultConfig() Config {
@@ -114,6 +131,27 @@ type Engine struct {
 	// tel is the shard's counter group: batch and cache counters land here
 	// as atomic adds, and Snapshot folds them with the sampled gauges.
 	tel *telemetry.ShardGroup
+
+	// quantized records whether this shard serves through the int8 kernels.
+	// It is decided once in NewEngine (config or PRESTROID_QUANTIZE, and only
+	// if the model supports quantisation) and never changes, so plain reads
+	// are safe; replica swaps re-apply it to the incoming model.
+	quantized bool
+}
+
+// maxGaugeSink adapts the shard's quantisation-error MaxGauge onto the
+// models.QuantErrorSink interface. MaxGauge is lock-free, satisfying the
+// sink's concurrency contract.
+type maxGaugeSink struct{ g *telemetry.MaxGauge }
+
+func (s maxGaugeSink) ObserveQuantError(e float64) { s.g.Observe(e) }
+
+// applyQuantization routes m through its int8 kernels with errors reported
+// to this shard's gauge. Callers own the locking (construction happens
+// before the engine is shared; swaps run under pred.mu).
+func (e *Engine) applyQuantization(m models.Quantizer) {
+	m.SetQuantErrorSink(maxGaugeSink{g: &e.tel.QuantErr})
+	m.SetQuantized(true)
 }
 
 // NewEngine starts the batcher goroutine. Callers must Close the engine to
@@ -142,6 +180,12 @@ func NewEngine(pred *Predictor, cfg Config) *Engine {
 			e.convCache = newSubtreeCache(cfg.SubtreeCacheSize, initialGeneration,
 				&e.tel.SubtreeHits, &e.tel.SubtreeMisses)
 			cs.SetConvCache(e.convCache)
+		}
+	}
+	if cfg.Quantize || envQuantize {
+		if q, ok := pred.Model.(models.Quantizer); ok {
+			e.applyQuantization(q)
+			e.quantized = true
 		}
 	}
 	e.wg.Add(1)
@@ -409,5 +453,17 @@ func (e *Engine) Snapshot() telemetry.ShardSnapshot {
 	if e.convCache != nil {
 		subEntries, subBytes = e.convCache.Stats()
 	}
-	return e.tel.Snapshot(len(e.jobs), entries, subEntries, subBytes, e.weightGen.Load())
+	return e.tel.Snapshot(len(e.jobs), entries, subEntries, subBytes, e.weightGen.Load(), e.quantized)
 }
+
+// kernelName renders a quantisation flag as the kernel-mode label shared by
+// the stats JSON, the Prometheus exposition and predict responses.
+func kernelName(quantized bool) string {
+	if quantized {
+		return "int8"
+	}
+	return "float"
+}
+
+// Kernel reports the serving kernel mode ("float" or "int8").
+func (e *Engine) Kernel() string { return kernelName(e.quantized) }

@@ -55,6 +55,7 @@ func retrainedFullBundle(t *testing.T, pred *Predictor, normShift float64, extra
 	if err := persist.SaveFullBundle(&buf, pipe, norm, m); err != nil {
 		t.Fatal(err)
 	}
+	alignEnvKernel(m)
 	return buf.Bytes(), &Predictor{Model: m, Pipe: pipe, Norm: norm}
 }
 

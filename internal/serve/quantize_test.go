@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"prestroid/internal/persist"
+	"prestroid/internal/telemetry"
+)
+
+// serveQuantTol is the absolute tolerance between quantised and float
+// predictions in the normalised (0,1) space for the small test model.
+const serveQuantTol = 0.02
+
+// newQuantServer builds a sharded server in int8 mode over a trained test
+// predictor.
+func newQuantServer(t *testing.T, replicas int) (*Server, *Predictor) {
+	t.Helper()
+	pred := newTestPredictor(t)
+	cfg := DefaultConfig()
+	cfg.Replicas = replicas
+	cfg.Quantize = true
+	srv := NewServerConfig(pred, cfg)
+	t.Cleanup(srv.Close)
+	return srv, pred
+}
+
+func TestQuantizedEngineTracksFloat(t *testing.T) {
+	pred := newTestPredictor(t)
+	sql := "SELECT a FROM t WHERE a > 5"
+	// Float reference from the serialised path before any engine touches the
+	// model.
+	want, err := pred.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Replicas = 2
+	cfg.Quantize = true
+	eng := NewShardedEngine(Replicas(pred, cfg.Replicas), cfg)
+	defer eng.Close()
+	if eng.Kernel() != "int8" {
+		t.Fatalf("Kernel() = %q, want int8", eng.Kernel())
+	}
+	got, err := eng.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.Normalized - want.Normalized); e > serveQuantTol {
+		t.Fatalf("quantised %v vs float %v (err %v)", got.Normalized, want.Normalized, e)
+	}
+	// Identical SQL must stay deterministic across repeats and shards.
+	for i := 0; i < 8; i++ {
+		again, err := eng.PredictSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(again.Normalized) != math.Float64bits(got.Normalized) {
+			t.Fatalf("repeat %d: %v, first %v", i, again.Normalized, got.Normalized)
+		}
+	}
+}
+
+func TestQuantizedPredictResponseKernel(t *testing.T) {
+	srv, _ := newQuantServer(t, 2)
+	w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Generation int64  `json:"generation"`
+		Kernel     string `json:"kernel"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kernel != "int8" {
+		t.Fatalf("kernel = %q, want int8", resp.Kernel)
+	}
+	if resp.Generation != initialGeneration {
+		t.Fatalf("generation = %d", resp.Generation)
+	}
+
+	// The float default reports "float" — unless the process-wide env
+	// override is in force (the quantised CI leg), in which case there is
+	// no float default to observe.
+	if envQuantize {
+		return
+	}
+	fsrv, _ := newTestServer(t)
+	w = post(t, fsrv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`)
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kernel != "float" {
+		t.Fatalf("default kernel = %q, want float", resp.Kernel)
+	}
+}
+
+func TestQuantizedStatsAndMetrics(t *testing.T) {
+	srv, _ := newQuantServer(t, 2)
+	if w := post(t, srv, "/v1/predict", `{"sql":"SELECT a FROM t WHERE a > 5"}`); w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Kernel != "int8" {
+		t.Fatalf("stats kernel = %q, want int8", st.Kernel)
+	}
+	if st.QuantMaxError <= 0 {
+		t.Fatalf("stats quant_max_error = %v, want > 0 after quantised traffic", st.QuantMaxError)
+	}
+	servedQuant := false
+	for _, sh := range st.Shards {
+		if !sh.Quantized {
+			t.Fatalf("shard %d not quantized in int8 mode", sh.Shard)
+		}
+		if sh.QuantMaxError > 0 {
+			servedQuant = true
+		}
+	}
+	if !servedQuant {
+		t.Fatal("no shard observed a quantisation error despite traffic")
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	body := w.Body.String()
+	for sh := 0; sh < 2; sh++ {
+		if got := metricValue(t, body, fmt.Sprintf(`prestroid_shard_quantized{shard="%d"}`, sh)); got != 1 {
+			t.Fatalf("shard %d quantized gauge = %v, want 1", sh, got)
+		}
+	}
+	// Every emitted line still parses as exposition format.
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !telemetry.ExpositionLine.MatchString(line) {
+			t.Fatalf("line %d does not parse: %q", i+1, line)
+		}
+	}
+}
+
+// TestQuantizedWeightReloadRepacks rolls a weight bundle across a quantised
+// engine and checks the shards serve the new weights through the int8 path:
+// post-roll predictions track the float output of the new weights, not the
+// old ones.
+func TestQuantizedWeightReloadRepacks(t *testing.T) {
+	pred := newTestPredictor(t)
+	sql := "SELECT a FROM t WHERE a > 7"
+	oldFloat, err := pred.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Replicas = 2
+	cfg.CacheSize = 0 // force every request through the model
+	cfg.Quantize = true
+	eng := NewShardedEngine(Replicas(pred, cfg.Replicas), cfg)
+	defer eng.Close()
+
+	// Retrain the source model and ship its weights as a bundle.
+	retrain := newTestPredictor(t)
+	var buf bytes.Buffer
+	if err := persist.SaveWeights(&buf, retrain.Model.(persist.WeightStore)); err != nil {
+		t.Fatal(err)
+	}
+	newFloat, err := retrain.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(newFloat.Normalized-oldFloat.Normalized) < 1e-9 {
+		t.Skip("retrained weights predict identically; roll would be unobservable")
+	}
+	gen, err := eng.Reload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != initialGeneration+1 {
+		t.Fatalf("generation after roll = %d", gen)
+	}
+	got, err := eng.PredictSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.Normalized - newFloat.Normalized); e > serveQuantTol {
+		t.Fatalf("post-roll quantised %v vs new float %v (err %v)", got.Normalized, newFloat.Normalized, e)
+	}
+	if e := math.Abs(got.Normalized - newFloat.Normalized); e > math.Abs(got.Normalized-oldFloat.Normalized) {
+		t.Fatalf("post-roll prediction %v closer to old weights (%v) than new (%v)", got.Normalized, oldFloat.Normalized, newFloat.Normalized)
+	}
+}
+
+// TestEnvQuantizeFlipsDefault pins the CI matrix hook: PRESTROID_QUANTIZE
+// turns quantisation on without any config change. The env var is read once
+// at process start, so the test manipulates the cached value directly.
+func TestEnvQuantizeFlipsDefault(t *testing.T) {
+	if os.Getenv("PRESTROID_QUANTIZE") != "" && os.Getenv("PRESTROID_QUANTIZE") != "0" {
+		// The whole suite is already running quantised; the default-config
+		// engine below proves the env hook works end to end.
+		srv, _ := newTestServer(t)
+		if k := srv.Engine().Kernel(); k != "int8" {
+			t.Fatalf("kernel under PRESTROID_QUANTIZE = %q, want int8", k)
+		}
+		return
+	}
+	old := envQuantize
+	envQuantize = true
+	defer func() { envQuantize = old }()
+	srv, _ := newTestServer(t)
+	if k := srv.Engine().Kernel(); k != "int8" {
+		t.Fatalf("kernel with envQuantize = %q, want int8", k)
+	}
+}

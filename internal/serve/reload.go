@@ -124,6 +124,14 @@ func (e *Engine) swapReplica(m models.Model, pipe *models.Pipeline, norm workloa
 			cs.SetConvCache(e.convCache)
 		}
 	}
+	// The kernel mode likewise outlives the replica: re-quantise the incoming
+	// model (packing its int8 tables under this same critical section) and
+	// point its error reporting at this shard's gauge.
+	if e.quantized {
+		if q, ok := m.(models.Quantizer); ok {
+			e.applyQuantization(q)
+		}
+	}
 }
 
 // Reload installs a retrained weight bundle into every live replica without

@@ -60,6 +60,10 @@ func perturbedBundle(t *testing.T, pred *Predictor, delta float64) ([]byte, *Pre
 	if err := persist.SaveWeights(&buf, c); err != nil {
 		t.Fatal(err)
 	}
+	// Re-align after the perturbation: in the quantised CI leg this re-packs
+	// the reference's int8 tables from the perturbed tensors, exactly like
+	// the roll re-packs each replica's.
+	alignEnvKernel(c)
 	return buf.Bytes(), &Predictor{Model: c, Pipe: pred.Pipe, Norm: pred.Norm}
 }
 

@@ -170,6 +170,12 @@ type Stats struct {
 
 	ModelName string `json:"model"`
 	Params    int    `json:"parameters"`
+
+	// Kernel is the serving kernel mode ("float" or "int8");
+	// QuantMaxError is the worst absolute quantisation error any shard has
+	// observed (0 in float mode).
+	Kernel        string  `json:"kernel"`
+	QuantMaxError float64 `json:"quant_max_error"`
 }
 
 // ShardStats is the per-shard slice of /v1/stats: each entry reports one
@@ -189,6 +195,8 @@ type ShardStats struct {
 	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
 	Queued         int     `json:"queued"`
 	Generation     int64   `json:"generation"`
+	Quantized      bool    `json:"quantized"`
+	QuantMaxError  float64 `json:"quant_max_error"`
 }
 
 // endpoints is the server's fixed route table, which doubles as the label
@@ -381,12 +389,14 @@ func (s *Server) observe(start time.Time) {
 	s.tel.Latency.Observe(time.Since(start).Microseconds())
 }
 
-// predictResponse is a Prediction plus the weight generation that produced
-// it, so clients of a continuously retrained service can tell which bundle
-// answered.
+// predictResponse is a Prediction plus the weight generation and the serving
+// kernel mode that produced it, so clients of a continuously retrained
+// service can tell which bundle answered — and whether the figure is exact
+// (float) or carries the quantised path's bounded error (int8).
 type predictResponse struct {
 	Prediction
-	Generation int64 `json:"generation"`
+	Generation int64  `json:"generation"`
+	Kernel     string `json:"kernel"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -403,7 +413,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Generation: gen})
+	writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Generation: gen, Kernel: s.eng.Kernel()})
 }
 
 // explainResponse carries the plan views of /v1/explain.
@@ -623,6 +633,7 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 		Replicas:         len(snap.Engine.Shards),
 		ModelName:        snap.Engine.ModelName,
 		Params:           snap.Engine.Params,
+		Kernel:           snap.Engine.Kernel,
 	}
 	if snap.Requests > 0 {
 		st.AvgMillis = float64(snap.Latency.Sum) / 1e3 / float64(snap.Requests)
@@ -650,9 +661,14 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 			SubtreeBytes:   m.SubtreeBytes,
 			Queued:         m.Queued,
 			Generation:     m.Generation,
+			Quantized:      m.Quantized,
+			QuantMaxError:  m.QuantMaxError,
 		}
 		if m.Batches > 0 {
 			sh.AvgBatchSize = float64(m.Coalesced) / float64(m.Batches)
+		}
+		if m.QuantMaxError > st.QuantMaxError {
+			st.QuantMaxError = m.QuantMaxError
 		}
 		st.Shards = append(st.Shards, sh)
 	}

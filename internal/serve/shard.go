@@ -130,6 +130,11 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 // Shards reports the live shard count (the effective replica count).
 func (se *ShardedEngine) Shards() int { return len(se.shards) }
 
+// Kernel reports the serving kernel mode: "int8" when the shards quantise,
+// "float" otherwise. Every shard is built from one Config, so the mode is
+// uniform across the engine and fixed for its lifetime.
+func (se *ShardedEngine) Kernel() string { return se.shards[0].Kernel() }
+
 // Close quiesces every shard — no new dispatcher traffic is admitted
 // anywhere before the first queue starts draining — then flushes and stops
 // each batcher. It waits out any in-flight reload first (holding reloadMu):
@@ -251,6 +256,7 @@ func (se *ShardedEngine) Snapshot() telemetry.EngineSnapshot {
 		RejectedBundles: se.rejected.Load(),
 		ModelName:       name,
 		Params:          params,
+		Kernel:          se.Kernel(),
 		Shards:          make([]telemetry.ShardSnapshot, len(se.shards)),
 	}
 	for i, sh := range se.shards {

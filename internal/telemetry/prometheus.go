@@ -92,6 +92,15 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		e.Shards, func(s ShardSnapshot) int64 { return int64(s.Queued) })
 	p.shardSeries("prestroid_shard_generation", "Predictor-identity generation serving on each shard.", "gauge",
 		e.Shards, func(s ShardSnapshot) int64 { return s.Generation })
+	p.shardSeries("prestroid_shard_quantized", "1 when the shard serves through the int8 kernels, 0 for float.", "gauge",
+		e.Shards, func(s ShardSnapshot) int64 {
+			if s.Quantized {
+				return 1
+			}
+			return 0
+		})
+	p.shardFloatSeries("prestroid_shard_quant_max_error", "Worst absolute int8 quantisation error observed on the shard (0 when float).", "gauge",
+		e.Shards, func(s ShardSnapshot) float64 { return s.QuantMaxError })
 	return p.err
 }
 
@@ -118,6 +127,16 @@ func (p *promWriter) shardSeries(name, help, typ string, shards []ShardSnapshot,
 	p.header(name, help, typ)
 	for _, sh := range shards {
 		p.printf("%s{shard=\"%d\"} %d\n", name, sh.Shard, value(sh))
+	}
+}
+
+// shardFloatSeries is shardSeries for float-valued gauges, rendered with the
+// same shortest-round-trip float syntax as every other float in the
+// exposition.
+func (p *promWriter) shardFloatSeries(name, help, typ string, shards []ShardSnapshot, value func(ShardSnapshot) float64) {
+	p.header(name, help, typ)
+	for _, sh := range shards {
+		p.printf("%s{shard=\"%d\"} %s\n", name, sh.Shard, formatFloat(value(sh)))
 	}
 }
 

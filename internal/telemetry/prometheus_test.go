@@ -41,15 +41,16 @@ func goldenSnapshot() Snapshot {
 			RejectedBundles: 1,
 			ModelName:       "prestroid",
 			Params:          12345,
+			Kernel:          "int8",
 			Shards: []ShardSnapshot{
 				{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
 					CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
 					SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
-					Queued: 1, Generation: 2},
+					Queued: 1, Generation: 2, Quantized: true, QuantMaxError: 0.0042},
 				{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
 					CacheMisses: 2, CacheEntries: 2,
 					SubtreeMisses: 2, SubtreeEntries: 2, SubtreeBytes: 256,
-					Generation: 2},
+					Generation: 2, Quantized: true},
 			},
 		},
 	}
@@ -166,6 +167,14 @@ prestroid_shard_queue_depth{shard="1"} 0
 # TYPE prestroid_shard_generation gauge
 prestroid_shard_generation{shard="0"} 2
 prestroid_shard_generation{shard="1"} 2
+# HELP prestroid_shard_quantized 1 when the shard serves through the int8 kernels, 0 for float.
+# TYPE prestroid_shard_quantized gauge
+prestroid_shard_quantized{shard="0"} 1
+prestroid_shard_quantized{shard="1"} 1
+# HELP prestroid_shard_quant_max_error Worst absolute int8 quantisation error observed on the shard (0 when float).
+# TYPE prestroid_shard_quant_max_error gauge
+prestroid_shard_quant_max_error{shard="0"} 0.0042
+prestroid_shard_quant_max_error{shard="1"} 0
 `
 
 func TestWritePrometheusGolden(t *testing.T) {

@@ -13,6 +13,7 @@ type ShardGroup struct {
 	SubtreeHits   Counter    // pooled-conv partial results served from cache
 	SubtreeMisses Counter    // sub-tree convolutions actually computed
 	BatchSizes    *Histogram // deduplicated rows per flushed batch
+	QuantErr      MaxGauge   // worst absolute int8 quantisation error observed
 }
 
 // NewShardGroup builds a shard group with the standard batch-size buckets.
@@ -22,9 +23,9 @@ func NewShardGroup() *ShardGroup {
 
 // Snapshot folds the group's counters with the gauges the owner sampled at
 // call time (queue depth, prediction-cache entries, subtree-cache entries
-// and payload bytes, weight generation). The caller fills in the shard
-// index.
-func (g *ShardGroup) Snapshot(queued, cacheEntries, subtreeEntries int, subtreeBytes, generation int64) ShardSnapshot {
+// and payload bytes, weight generation, serving kernel mode). The caller
+// fills in the shard index.
+func (g *ShardGroup) Snapshot(queued, cacheEntries, subtreeEntries int, subtreeBytes, generation int64, quantized bool) ShardSnapshot {
 	return ShardSnapshot{
 		Batches:        g.Batches.Load(),
 		Coalesced:      g.Coalesced.Load(),
@@ -38,6 +39,8 @@ func (g *ShardGroup) Snapshot(queued, cacheEntries, subtreeEntries int, subtreeB
 		SubtreeBytes:   subtreeBytes,
 		Queued:         queued,
 		Generation:     generation,
+		Quantized:      quantized,
+		QuantMaxError:  g.QuantErr.Load(),
 	}
 }
 
@@ -56,6 +59,8 @@ type ShardSnapshot struct {
 	SubtreeBytes   int64
 	Queued         int
 	Generation     int64
+	Quantized      bool    // shard serves through the int8 kernels
+	QuantMaxError  float64 // worst absolute quantisation error observed (0 if float)
 }
 
 // EngineSnapshot is the sharded engine's full telemetry state: per-shard
@@ -71,7 +76,11 @@ type EngineSnapshot struct {
 	RejectedBundles int64
 	ModelName       string
 	Params          int
-	Shards          []ShardSnapshot
+	// Kernel names the serving kernel mode every shard runs in: "float"
+	// (exact, the default) or "int8" (quantised). Mode is fixed for the
+	// engine's lifetime, so one engine-level field suffices.
+	Kernel string
+	Shards []ShardSnapshot
 }
 
 // ShardTotals is the cross-shard sum of one EngineSnapshot — derived from

@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -30,6 +31,35 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge is a lock-free running maximum over non-negative float64
+// observations. The zero value is ready to use and reads 0. It exploits the
+// fact that for non-negative IEEE-754 doubles the bit patterns order the
+// same way the values do, so the max can be maintained with a plain uint64
+// compare-and-swap — one atomic load on the fast path when the observation
+// does not raise the max. Not copyable once used.
+type MaxGauge struct{ bits atomic.Uint64 }
+
+// Observe raises the maximum to v if larger. NaN, negative and zero values
+// never raise it.
+func (g *MaxGauge) Observe(v float64) {
+	if !(v > 0) {
+		return
+	}
+	b := math.Float64bits(v)
+	for {
+		cur := g.bits.Load()
+		if b <= cur {
+			return
+		}
+		if g.bits.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far (0 if none).
+func (g *MaxGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 var (
 	buildOnce    sync.Once

@@ -19,6 +19,18 @@ type Arena struct {
 	off      int // elements of slab handed out this cycle
 	overflow int // elements served outside the slab this cycle
 
+	// The int8 and int32 slabs serve quantised-activation scratch (GetI8,
+	// GetI32) with the same bump/Reset/regrow cycle as the float slab. They
+	// start empty and only ever grow on arenas that actually run the
+	// quantised kernels.
+	i8slab     []int8
+	i8off      int
+	i8overflow int
+
+	i32slab     []int32
+	i32off      int
+	i32overflow int
+
 	headers []*Tensor
 	hused   int
 }
@@ -63,6 +75,40 @@ func (a *Arena) Get(shape ...int) *Tensor {
 	return t
 }
 
+// GetI8 returns an int8 scratch slice of length n backed by the arena. The
+// contents are unspecified — callers must overwrite every element (the
+// quantisation kernels do). Like Get, exhaustion falls back to a heap slice
+// and records the shortfall so the next Reset regrows the slab, keeping
+// steady-state cycles allocation-free.
+func (a *Arena) GetI8(n int) []int8 {
+	if n < 0 {
+		panic("tensor: negative length in arena GetI8")
+	}
+	if a.i8off+n <= len(a.i8slab) {
+		s := a.i8slab[a.i8off : a.i8off+n : a.i8off+n]
+		a.i8off += n
+		return s
+	}
+	a.i8overflow += n
+	return make([]int8, n)
+}
+
+// GetI32 returns an int32 scratch slice of length n backed by the arena,
+// with the same unspecified-contents and regrow-on-Reset contract as GetI8.
+// The quantised kernels use it for per-row activation metadata.
+func (a *Arena) GetI32(n int) []int32 {
+	if n < 0 {
+		panic("tensor: negative length in arena GetI32")
+	}
+	if a.i32off+n <= len(a.i32slab) {
+		s := a.i32slab[a.i32off : a.i32off+n : a.i32off+n]
+		a.i32off += n
+		return s
+	}
+	a.i32overflow += n
+	return make([]int32, n)
+}
+
 // header returns a pooled *Tensor, minting a new one only the first time a
 // cycle reaches this depth.
 func (a *Arena) header() *Tensor {
@@ -85,7 +131,17 @@ func (a *Arena) Reset() {
 		a.slab = make([]float64, a.off+a.overflow)
 		a.overflow = 0
 	}
+	if a.i8overflow > 0 {
+		a.i8slab = make([]int8, a.i8off+a.i8overflow)
+		a.i8overflow = 0
+	}
+	if a.i32overflow > 0 {
+		a.i32slab = make([]int32, a.i32off+a.i32overflow)
+		a.i32overflow = 0
+	}
 	a.off = 0
+	a.i8off = 0
+	a.i32off = 0
 	a.hused = 0
 }
 

@@ -1,0 +1,16 @@
+package tensor
+
+// Test hooks for the worker-budget instrumentation (see workers.go).
+
+// ResetHelperPeak clears the recorded helper-goroutine high-water mark.
+func ResetHelperPeak() {
+	helperPeak.Store(0)
+}
+
+// HelperPeak reports the highest number of helper goroutines observed in
+// flight at once since the last ResetHelperPeak.
+func HelperPeak() int64 { return helperPeak.Load() }
+
+// ParallelFlopThreshold exposes the m*k*n product above which the kernels
+// fan out, so tests can size operands just past it.
+const ParallelFlopThreshold = parallelFlopThreshold

@@ -3,7 +3,6 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // parallelFlopThreshold is the m*k*n product above which MatMulInto shards
@@ -34,31 +33,17 @@ func MatMulInto(out, a, b *Tensor) {
 	if out.Shape[0] != m || out.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.Shape, m, n))
 	}
-	workers := 1
-	if m*k*n >= parallelFlopThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > m {
-			workers = m
-		}
-	}
-	if workers <= 1 {
+	if m*k*n < parallelFlopThreshold {
 		matMulRows(out, a, b, 0, m)
 		return
 	}
-	var wg sync.WaitGroup
-	per := (m + workers - 1) / workers
-	for start := 0; start < m; start += per {
-		end := start + per
-		if end > m {
-			end = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(out, a, b, lo, hi)
-		}(start, end)
-	}
-	wg.Wait()
+	// Fan out through the shared worker budget (see workers.go): the caller
+	// computes one shard inline and helpers are claimed without blocking, so
+	// concurrent kernels divide the budget instead of each spawning
+	// GOMAXPROCS goroutines.
+	shardRows(m, runtime.GOMAXPROCS(0), func(lo, hi int) {
+		matMulRows(out, a, b, lo, hi)
+	})
 }
 
 // matMulRows computes output rows [lo, hi).

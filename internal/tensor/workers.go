@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The matrix kernels share one process-wide budget of helper goroutines.
+// Without it, every large MatMulInto spawned GOMAXPROCS workers regardless
+// of how many kernels were already in flight — N concurrent shard flushes
+// meant N×GOMAXPROCS runnable goroutines fighting over the same cores, on
+// top of the forward-worker semaphore the replicas already share. The
+// budget caps the *total* helper fan-out: each call computes one shard on
+// the calling goroutine and claims extra workers from the pool without
+// blocking, so a lone kernel on an idle host still gets every core while
+// concurrent kernels degrade gracefully toward serial instead of
+// oversubscribing.
+//
+// The pool holds budget-1 tokens: the calling goroutine is the implicit
+// first worker, so with budget B a single kernel runs on at most B
+// goroutines, and any number of concurrent kernels add at most B-1 helper
+// goroutines between them.
+var matmulWorkers atomic.Pointer[workerPool]
+
+type workerPool struct {
+	tokens chan struct{}
+}
+
+func init() { SetMatMulWorkerBudget(runtime.GOMAXPROCS(0)) }
+
+// SetMatMulWorkerBudget resets the kernel worker budget to n total workers
+// (the caller plus n-1 pooled helpers). Values below 1 are clamped to 1,
+// which makes every kernel serial. Helpers already running against the old
+// budget finish normally; the new budget applies to subsequent calls.
+func SetMatMulWorkerBudget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p := &workerPool{tokens: make(chan struct{}, n-1)}
+	for i := 0; i < n-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	matmulWorkers.Store(p)
+}
+
+// acquire claims up to want helper tokens without blocking, returning the
+// pool they must be released to and how many were granted.
+func acquireWorkers(want int) (*workerPool, int) {
+	p := matmulWorkers.Load()
+	got := 0
+	for got < want {
+		select {
+		case <-p.tokens:
+			got++
+		default:
+			return p, got
+		}
+	}
+	return p, got
+}
+
+func (p *workerPool) release(n int) {
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+}
+
+// helperActive / helperPeak instrument the helper fan-out so a test can pin
+// the ceiling under concurrent kernels. They are only touched on the
+// goroutine-spawning path, never in serial kernels.
+var (
+	helperActive atomic.Int64
+	helperPeak   atomic.Int64
+)
+
+func noteHelperStart() {
+	a := helperActive.Add(1)
+	for {
+		p := helperPeak.Load()
+		if a <= p || helperPeak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+func noteHelperDone() { helperActive.Add(-1) }
+
+// shardRows splits the row range [0, m) across the calling goroutine plus
+// however many helpers the worker budget grants, invoking fn once per
+// half-open shard. fn must be safe to run concurrently on disjoint ranges;
+// the partitioning never changes which goroutine writes which output row,
+// so kernels stay deterministic regardless of how many tokens were free.
+// The caller always computes the first shard inline — progress never
+// depends on token availability.
+func shardRows(m, want int, fn func(lo, hi int)) {
+	if want > m {
+		want = m
+	}
+	if want <= 1 {
+		fn(0, m)
+		return
+	}
+	pool, extra := acquireWorkers(want - 1)
+	if extra == 0 {
+		fn(0, m)
+		return
+	}
+	workers := extra + 1
+	per := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := per; start < m; start += per {
+		end := start + per
+		if end > m {
+			end = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			noteHelperStart()
+			fn(lo, hi)
+			noteHelperDone()
+		}(start, end)
+	}
+	first := per
+	if first > m {
+		first = m
+	}
+	fn(0, first)
+	wg.Wait()
+	pool.release(extra)
+}

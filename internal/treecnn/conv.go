@@ -19,6 +19,16 @@ type ConvLayer struct {
 	Wl      *nn.Param
 	Wr      *nn.Param
 	B       *nn.Param
+
+	// q is the int8-packed triangular kernel used by the quantised
+	// inference path; nil until PackInt8, stale after any weight update
+	// until the owner repacks (models own that lifecycle).
+	q *int8Kernel
+}
+
+// int8Kernel is the column-quantised form of one layer's (Wt, Wl, Wr).
+type int8Kernel struct {
+	wt, wl, wr *tensor.Int8Matrix
 }
 
 // NewConvLayer returns a tree-convolution layer with Glorot initialisation.
@@ -81,6 +91,118 @@ func (l *ConvLayer) project(out, tmp, x, xl, xr *tensor.Tensor) {
 	tensor.MatMulInto(tmp, xr, l.Wr.W)
 	out.AddInPlace(tmp)
 	tensor.AddRowVector(out, l.B.W)
+}
+
+// PackInt8 (re)quantises the triangular kernel for the int8 inference
+// path, returning the max absolute weight round-trip error across the three
+// matrices. The bias stays float: it is added after dequantisation, exactly
+// like the float path.
+func (l *ConvLayer) PackInt8() float64 {
+	q := &int8Kernel{
+		wt: tensor.QuantizeColumns(l.Wt.W),
+		wl: tensor.QuantizeColumns(l.Wl.W),
+		wr: tensor.QuantizeColumns(l.Wr.W),
+	}
+	l.q = q
+	maxErr := q.wt.MaxErr
+	if q.wl.MaxErr > maxErr {
+		maxErr = q.wl.MaxErr
+	}
+	if q.wr.MaxErr > maxErr {
+		maxErr = q.wr.MaxErr
+	}
+	return maxErr
+}
+
+// Int8Ready reports whether a packed kernel is installed.
+func (l *ConvLayer) Int8Ready() bool { return l.q != nil }
+
+// forwardArenaInt8 is the quantised inference pass. It quantises each input
+// row once (per-row scale, int8 magnitudes), then runs the three kernel
+// matrices as int8 GEMMs: Wt over all n rows, Wl and Wr over *compacted*
+// child rows only — each node has at most one parent, so a node's features
+// are consumed by at most one left slot and one right slot, and gathering
+// the already-quantised rows (k bytes each) into dense operands costs a
+// fraction of the projections it avoids. The compact projections are laid
+// out in node order of the consuming parent, so the combine pass walks them
+// with a pair of cursors instead of an index table. The GEMMs go through
+// tensor.Int8MatMulInto, so they use the SWAR kernel and shard rows across
+// the shared worker budget at paper-scale widths. Alongside the output it
+// reports the max absolute activation quantisation error on this input.
+// PackInt8 must have run since the last weight change.
+func (l *ConvLayer) forwardArenaInt8(tree *Tree, x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, float64) {
+	n := tree.Len()
+	k := l.In
+	qx := a.GetI8(n * k)
+	sx := a.Get(n)
+	mx := a.GetI32(2 * n)
+	qerr := tensor.QuantizeRowsInto(qx, sx.Data, mx, x)
+	nl, nr := 0, 0
+	for i := 0; i < n; i++ {
+		if tree.Left[i] >= 0 {
+			nl++
+		}
+		if tree.Right[i] >= 0 {
+			nr++
+		}
+	}
+	qxl := a.GetI8(nl * k)
+	qxr := a.GetI8(nr * k)
+	sxl := a.Get(nl)
+	sxr := a.Get(nr)
+	mxl := a.GetI32(2 * nl)
+	mxr := a.GetI32(2 * nr)
+	c, d := 0, 0
+	for i := 0; i < n; i++ {
+		if li := tree.Left[i]; li >= 0 {
+			copy(qxl[c*k:(c+1)*k], qx[li*k:(li+1)*k])
+			sxl.Data[c] = sx.Data[li]
+			mxl[2*c], mxl[2*c+1] = mx[2*li], mx[2*li+1]
+			c++
+		}
+		if ri := tree.Right[i]; ri >= 0 {
+			copy(qxr[d*k:(d+1)*k], qx[ri*k:(ri+1)*k])
+			sxr.Data[d] = sx.Data[ri]
+			mxr[2*d], mxr[2*d+1] = mx[2*ri], mx[2*ri+1]
+			d++
+		}
+	}
+	pt := a.Get(n, l.Out)
+	pl := a.Get(nl, l.Out)
+	pr := a.Get(nr, l.Out)
+	tensor.Int8MatMulInto(pt, qx, sx.Data, mx, l.q.wt, nil, false)
+	tensor.Int8MatMulInto(pl, qxl, sxl.Data, mxl, l.q.wl, nil, false)
+	tensor.Int8MatMulInto(pr, qxr, sxr.Data, mxr, l.q.wr, nil, false)
+	out := a.Get(n, l.Out)
+	bias := l.B.W.Data
+	c, d = 0, 0
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		trow := pt.Row(i)
+		var lrow, rrow []float64
+		if tree.Left[i] >= 0 {
+			lrow = pl.Row(c)
+			c++
+		}
+		if tree.Right[i] >= 0 {
+			rrow = pr.Row(d)
+			d++
+		}
+		for j := range row {
+			v := bias[j] + trow[j]
+			if lrow != nil {
+				v += lrow[j]
+			}
+			if rrow != nil {
+				v += rrow[j]
+			}
+			if !(v > 0) {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+	return out, qerr
 }
 
 // forward computes the layer output and returns the cache needed to
@@ -254,6 +376,50 @@ func (n *Network) ForwardInference(t *Tree, a *tensor.Arena) *tensor.Tensor {
 	out := a.Get(1, n.OutDim())
 	n.pool(t, x, out, nil)
 	return out
+}
+
+// PackInt8 (re)quantises every layer's triangular kernel, returning the max
+// weight round-trip error across the stack. Must be called again after any
+// weight change before using ForwardInferenceInt8.
+func (n *Network) PackInt8() float64 {
+	maxErr := 0.0
+	for _, l := range n.Layers {
+		if e := l.PackInt8(); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// Int8Ready reports whether every layer has a packed kernel installed.
+func (n *Network) Int8Ready() bool {
+	for _, l := range n.Layers {
+		if !l.Int8Ready() {
+			return false
+		}
+	}
+	return len(n.Layers) > 0
+}
+
+// ForwardInferenceInt8 runs the quantised conv stack and the (float) pooling
+// inside the arena, returning the pooled vector and the max activation
+// quantisation error observed across the layers. Outputs carry a bounded
+// quantisation error relative to ForwardInference; pooling itself is exact,
+// so cached pooled vectors remain self-consistent for a given kernel mode
+// and weight generation.
+func (n *Network) ForwardInferenceInt8(t *Tree, a *tensor.Arena) (*tensor.Tensor, float64) {
+	x := t.Feats
+	maxErr := 0.0
+	for _, l := range n.Layers {
+		var e float64
+		x, e = l.forwardArenaInt8(t, x, a)
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	out := a.Get(1, n.OutDim())
+	n.pool(t, x, out, nil)
+	return out, maxErr
 }
 
 // Backward propagates a (1, OutDim) gradient through the pooling and conv

@@ -33,53 +33,74 @@ type Tree struct {
 // Len returns the number of nodes.
 func (t *Tree) Len() int { return len(t.Left) }
 
-// FNV-1a 64-bit parameters, plus a sentinel mixed in place of an absent
-// child so "no child" hashes differently from any real subtree.
+// Digest parameters: a seed, a multiply-xorshift round constant (the
+// murmur3 64-bit finaliser multiplier), and a sentinel mixed in place of an
+// absent child so "no child" hashes differently from any real subtree.
 const (
-	fnvOffset64      = 14695981039346656037
-	fnvPrime64       = 1099511628211
+	hashSeed         = 14695981039346656037
+	hashMul          = 0xff51afd7ed558ccd
 	missingChildHash = 0x9e3779b97f4a7c15
 )
 
-// fnvMix folds the eight bytes of v into the running FNV-1a hash h.
-func fnvMix(h, v uint64) uint64 {
-	for s := 0; s < 64; s += 8 {
-		h ^= (v >> s) & 0xff
-		h *= fnvPrime64
-	}
+// hashMix folds one 64-bit word into the running digest with a
+// multiply-xorshift round: far fewer multiplies than byte-wise FNV for the
+// same cache-key purpose.
+func hashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= hashMul
+	h ^= h >> 33
 	return h
 }
 
+// rehashBuf keeps the per-node digest scratch on the stack for every tree
+// the sub-tree sampler emits; larger trees fall back to one heap slice.
+const rehashBuf = 64
+
 // Rehash recomputes t.Hash from the current features, votes and structure.
-// Per node it digests the feature row bit-patterns, the vote, and the child
-// digests (bottom-up: every flattener places children at higher indices than
-// their parents, so a reverse index sweep visits children first). The root
-// digest is mixed with the node count. Callers that mutate a flattened tree
-// (e.g. the DisableVotes ablation) must Rehash before handing it to a cache.
+// Per node it digests the (position, bit-pattern) pairs of the feature
+// row's nonzero entries, the vote, and the child digests (bottom-up: every
+// flattener places children at higher indices than their parents, so a
+// reverse index sweep visits children first). The root digest is mixed with
+// the node count. Zeros are skipped because O-T-P rows are overwhelmingly
+// zero and the positions mixed for the nonzero entries pin them down; ±0
+// collapse together, which is sound for a conv cache key because both
+// convolve to identical outputs. Callers that mutate a flattened tree
+// (e.g. the DisableVotes ablation) must Rehash before handing it to a
+// cache.
 func (t *Tree) Rehash() {
 	n := t.Len()
-	hs := make([]uint64, n)
+	var hbuf [rehashBuf]uint64
+	var hs []uint64
+	if n <= rehashBuf {
+		hs = hbuf[:n]
+	} else {
+		hs = make([]uint64, n)
+	}
 	for i := n - 1; i >= 0; i-- {
-		h := uint64(fnvOffset64)
-		for _, f := range t.Feats.Row(i) {
-			h = fnvMix(h, math.Float64bits(f))
+		h := uint64(hashSeed)
+		for p, f := range t.Feats.Row(i) {
+			if f == 0 {
+				continue
+			}
+			h = hashMix(h, uint64(p)+1)
+			h = hashMix(h, math.Float64bits(f))
 		}
-		h = fnvMix(h, math.Float64bits(t.Votes[i]))
+		h = hashMix(h, math.Float64bits(t.Votes[i]))
 		if li := t.Left[i]; li >= 0 {
-			h = fnvMix(h, hs[li])
+			h = hashMix(h, hs[li])
 		} else {
-			h = fnvMix(h, missingChildHash)
+			h = hashMix(h, missingChildHash)
 		}
 		if ri := t.Right[i]; ri >= 0 {
-			h = fnvMix(h, hs[ri])
+			h = hashMix(h, hs[ri])
 		} else {
-			h = fnvMix(h, missingChildHash)
+			h = hashMix(h, missingChildHash)
 		}
 		hs[i] = h
 	}
-	root := fnvMix(fnvOffset64, uint64(n))
+	root := hashMix(hashSeed, uint64(n))
 	if n > 0 {
-		root = fnvMix(root, hs[0])
+		root = hashMix(root, hs[0])
 	}
 	t.Hash = root
 }

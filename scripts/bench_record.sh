@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate for the serve layer: run the serving benchmarks
 # (BenchmarkServePredict, BenchmarkSharded{Distinct,Overlapping}Templates and
-# BenchmarkPrestroidPredictSteady, 5 repeats of 100ms each with -benchmem —
+# BenchmarkPrestroidPredictSteady — each in both kernel modes, the quantised
+# variants carry a Quantized suffix and so match the same unanchored
+# patterns — plus the BenchmarkFloatProject/BenchmarkInt8Project kernel
+# microbenchmarks, 5 repeats of 100ms each with -benchmem —
 # time-based so iteration counts auto-scale from the ~300ns steady
 # micro-benchmark to the ~200µs 16-client fan-outs, whose fixed-count runs
 # flap), record median throughput and minimum allocations per benchmark to a
@@ -36,7 +39,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 GOMAXPROCS=4 GOGC=100 go test -run '^$' \
-  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates|BenchmarkShardedOverlappingTemplates|BenchmarkPrestroidPredictSteady' \
+  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates|BenchmarkShardedOverlappingTemplates|BenchmarkPrestroidPredictSteady|BenchmarkFloatProject|BenchmarkInt8Project' \
   -benchtime 100ms -count 5 -benchmem . | tee "$raw"
 
 python3 - "$raw" "$out" "$tolerance" "$baseline" <<'PY'

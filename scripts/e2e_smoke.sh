@@ -6,7 +6,11 @@
 # zero failed requests and that SIGTERM drains the daemon cleanly. Along the
 # way, scrape GET /metrics under load and assert the Prometheus exposition
 # parses line by line and agrees with the /v1/stats JSON on monotone
-# counters (both render one telemetry snapshot).
+# counters (both render one telemetry snapshot). A second phase repeats the
+# roll-under-load with -quantize on: every response must report the int8
+# kernel, every shard must raise the prestroid_shard_quantized gauge, and
+# the roll must again complete with zero failures (re-packing the int8
+# tables is part of the swap, so this is the path most likely to tear).
 #
 # Run from anywhere: ./scripts/e2e_smoke.sh
 set -euo pipefail
@@ -181,5 +185,82 @@ grep -q "draining" "$work/server.log" || {
   cat "$work/server.log" >&2
   exit 1
 }
+
+echo "== serve generation 1 again with -quantize"
+rm -f "$work/stop" "$work/failures"
+"$bin" -pipeline "$work/pipe.bin" -weights "$work/gen1.bin" -queries 300 \
+  -addr "$addr" -replicas 2 -quantize >"$work/server_q.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+  if [[ "$i" == 100 ]]; then
+    echo "quantised server never became healthy" >&2
+    cat "$work/server_q.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "== quantised kernel visible on predict responses and /metrics"
+curl -fsS -X POST "$base/v1/predict" -d '{"sql":"SELECT a FROM t WHERE a > 1"}' >"$work/predict_q.json"
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["kernel"] == "int8", r
+' "$work/predict_q.json"
+curl -fsS "$base/metrics" >"$work/metrics_q.txt"
+nquant=$(grep -c '^prestroid_shard_quantized{' "$work/metrics_q.txt" || true)
+if [[ "$nquant" != "2" ]]; then
+  echo "expected 2 prestroid_shard_quantized series, got $nquant" >&2
+  exit 1
+fi
+if grep '^prestroid_shard_quantized{' "$work/metrics_q.txt" | grep -qv ' 1$'; then
+  echo "a shard does not report the quantised gauge raised:" >&2
+  grep '^prestroid_shard_quantized{' "$work/metrics_q.txt" >&2
+  exit 1
+fi
+
+echo "== hammer /v1/predict while rolling generation 2 through the int8 shards"
+predict_loop &
+hammer1=$!
+predict_loop &
+hammer2=$!
+sleep 1
+
+curl -fsS -X POST "$base/v1/reload" -d "{\"weights\":\"$work/gen2.bin\"}" >"$work/reload_q.json"
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["generation"] == 2, r
+' "$work/reload_q.json"
+
+sleep 1
+touch "$work/stop"
+wait "$hammer1" "$hammer2"
+
+if [[ -s "${work}/failures" ]]; then
+  echo "failed predict requests during the quantised reload roll:" >&2
+  sort "$work/failures" | uniq -c >&2
+  exit 1
+fi
+curl -fsS "$base/v1/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["weight_generation"] == 2, s["weight_generation"]
+assert s["errors"] == 0, s["errors"]
+assert all(sh["quantized"] for sh in s["shards"]), s["shards"]
+assert all(sh["generation"] == 2 for sh in s["shards"]), s["shards"]
+print("ok: int8 roll to generation 2 on", len(s["shards"]),
+      "shards after", s["requests"], "requests, 0 errors")
+'
+
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+  echo "quantised daemon did not exit cleanly on SIGTERM" >&2
+  cat "$work/server_q.log" >&2
+  exit 1
+}
+server_pid=""
 
 echo "e2e smoke passed"
