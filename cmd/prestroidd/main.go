@@ -34,6 +34,15 @@
 // overlapping plans (see the serve-layer, performance and operations
 // sections of the README).
 //
+// Overload protection is opt-in: -max-est-wait bounds the queue wait the
+// service will accept before shedding with 429 + Retry-After (estimated as
+// queue depth × EWMA service time, after saturation detours are exhausted),
+// -client-qps/-client-burst rate-limit each client (bearer token or remote
+// IP), and clients can cap their own waits with a Request-Timeout duration
+// or X-Request-Deadline RFC 3339 header — expired work is dropped without a
+// model slot and answered 504. See the README Operations section for sizing
+// these from /metrics.
+//
 // The Go profiling surface (net/http/pprof) is served on the same mux under
 // /debug/pprof/, behind the same guard as /v1/reload: the -reload-token
 // bearer credential when set, loopback-only otherwise.
@@ -76,16 +85,27 @@ func main() {
 	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL, split across shards (0 disables)")
 	subtreeCacheSize := flag.Int("subtree-cache-size", defaults.SubtreeCacheSize, "pooled sub-tree convolution outputs cached per content hash, split across shards (0 disables)")
 	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
+	maxEstWait := flag.Duration("max-est-wait", 0, "bounded-latency admission target: shed with 429 once every candidate shard's estimated queue wait (depth × EWMA service time) exceeds this (0 disables shedding)")
+	clientQPS := flag.Float64("client-qps", 0, "per-client request rate on the serving endpoints, keyed by bearer token or remote IP (0 disables quotas)")
+	clientBurst := flag.Int("client-burst", 10, "per-client token-bucket burst allowance (only meaningful with -client-qps)")
 	reloadToken := flag.String("reload-token", "", "bearer token required on the admin surfaces (POST /v1/reload, /debug/pprof/); when empty, they are loopback-only")
 	quantize := flag.Bool("quantize", false, "serve through the int8 quantised inference kernels (bounded prediction error, higher throughput; PRESTROID_QUANTIZE=1 forces this on)")
 	flag.Parse()
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize,
-		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas, Quantize: *quantize}
+		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas,
+		MaxEstWait: *maxEstWait, Quantize: *quantize}
 	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, full: *bundlePath}
-	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken); err != nil {
+	quota := quotaConfig{qps: *clientQPS, burst: *clientBurst}
+	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken, quota); err != nil {
 		log.Fatal("prestroidd: ", err)
 	}
+}
+
+// quotaConfig carries the per-client rate-limit flags into run.
+type quotaConfig struct {
+	qps   float64
+	burst int
 }
 
 // bundlePaths names the on-disk artefacts of one trained predictor: either a
@@ -104,7 +124,7 @@ func modelConfig() models.PrestroidConfig {
 	return cfg
 }
 
-func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg serve.Config, reloadToken string) error {
+func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg serve.Config, reloadToken string, quota quotaConfig) error {
 	var pred *serve.Predictor
 	switch {
 	case doTrain:
@@ -135,6 +155,7 @@ func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg 
 	srv := serve.NewServerConfig(pred, cfg)
 	defer srv.Close()
 	srv.SetReloadToken(reloadToken)
+	srv.SetClientQuota(quota.qps, quota.burst)
 	hs := &http.Server{
 		Addr:    addr,
 		Handler: srv,
@@ -148,6 +169,12 @@ func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg 
 	}
 	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d, subtree cache %d)",
 		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize)
+	if cfg.MaxEstWait > 0 {
+		log.Printf("admission control: shedding past %s estimated wait", cfg.MaxEstWait)
+	}
+	if quota.qps > 0 {
+		log.Printf("client quotas: %.3g qps, burst %d per bearer token or remote IP", quota.qps, quota.burst)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()

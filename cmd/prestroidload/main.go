@@ -1,0 +1,263 @@
+// Command prestroidload is an open-loop load generator for a prestroidd
+// instance, built for the overload e2e suite. Unlike a closed-loop client —
+// which slows down exactly when the server does, hiding the queueing the
+// admission layer exists to bound — it fires requests on a fixed wall-clock
+// schedule regardless of how many are still outstanding, the way real
+// traffic arrives at a saturated service.
+//
+// Each request carries a unique numeric literal, so canonicalisation maps it
+// to a distinct prediction-cache key and every request pays the full model
+// path; -joins scales per-query plan size (and so service time) without
+// changing the request rate. The summary JSON reports per-status-code
+// latency percentiles, Retry-After coverage on 429s, and achieved goodput,
+// which is everything scripts/e2e_overload.sh asserts on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the prestroidd instance")
+	rate := flag.Float64("rate", 200, "request rate in requests/second (open loop)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to send for")
+	maxInflight := flag.Int("max-inflight", 512, "cap on outstanding requests; sends past the cap are counted as client drops, keeping the schedule open-loop without unbounded goroutines")
+	reqTimeout := flag.String("request-timeout", "", "value for the Request-Timeout header on every request (empty = no deadline)")
+	bearer := flag.String("bearer", "", "bearer token for the Authorization header (empty = none; quotas then key on client IP)")
+	joins := flag.Int("joins", 2, "JOIN clauses per generated query; more joins = larger plans = longer service time")
+	out := flag.String("out", "", "path for the JSON summary (empty = stdout)")
+	flag.Parse()
+
+	if *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "prestroidload: -rate and -duration must be positive")
+		os.Exit(2)
+	}
+
+	g := &loadgen{
+		url:        strings.TrimRight(*addr, "/") + "/v1/predict",
+		reqTimeout: *reqTimeout,
+		bearer:     *bearer,
+		joins:      *joins,
+		inflight:   make(chan struct{}, *maxInflight),
+		byStatus:   make(map[int]*statusBucket),
+		client: &http.Client{
+			// Connections are deliberately uncapped: the inflight semaphore
+			// already bounds outstanding requests, and a transport-level conn
+			// cap would queue sends inside the client at exactly the moments
+			// the server is most backed up, charging client-side conn waits
+			// to the fast 429 path the suite wants to measure. The generous
+			// client timeout is a last-resort backstop — deadline enforcement
+			// under test is the server's job, not ours.
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *maxInflight,
+				MaxIdleConnsPerHost: *maxInflight,
+			},
+		},
+	}
+	summary := g.run(*rate, *duration)
+
+	enc, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prestroidload: encode summary: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "prestroidload: write summary: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadgen owns one run's schedule, connection pool and result sink.
+type loadgen struct {
+	url        string
+	reqTimeout string
+	bearer     string
+	joins      int
+	client     *http.Client
+	inflight   chan struct{}
+
+	mu              sync.Mutex
+	byStatus        map[int]*statusBucket
+	transportErrors int
+}
+
+// statusBucket accumulates one status code's completions.
+type statusBucket struct {
+	latencies  []float64 // milliseconds
+	retryAfter int       // responses carrying a parseable positive Retry-After
+}
+
+// run fires requests at the configured rate until the duration elapses, then
+// waits for stragglers and folds the results into a summary.
+func (g *loadgen) run(rate float64, duration time.Duration) summary {
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	deadline := start.Add(duration)
+
+	var wg sync.WaitGroup
+	sent, dropped := 0, 0
+	for n := 0; ; n++ {
+		// The schedule is arithmetic off the start instant, not a ticker:
+		// a late wakeup sends immediately and the next slot is unaffected,
+		// so a stalled server cannot slow the offered load.
+		next := start.Add(time.Duration(n) * interval)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case g.inflight <- struct{}{}:
+			sent++
+			wg.Add(1)
+			go func(seq int) {
+				defer wg.Done()
+				defer func() { <-g.inflight }()
+				g.fire(seq)
+			}(n)
+		default:
+			// The cap is our stand-in for client-side give-up: the request
+			// was offered on schedule, the system was too backed up to take
+			// it. It still counts against the open-loop offered load.
+			dropped++
+		}
+	}
+	wg.Wait()
+
+	s := summary{
+		OfferedRate:     rate,
+		DurationSeconds: time.Since(start).Seconds(),
+		Sent:            sent,
+		DroppedClient:   dropped,
+		TransportErrors: g.transportErrors,
+		Status:          make(map[string]statusSummary),
+	}
+	for code, b := range g.byStatus {
+		s.Status[fmt.Sprintf("%d", code)] = b.summarize()
+		s.Completed += len(b.latencies)
+		if code >= 200 && code < 300 {
+			s.Goodput2xx += float64(len(b.latencies))
+		}
+	}
+	s.Goodput2xx /= s.DurationSeconds
+	return s
+}
+
+// fire sends one request and records its terminal status and latency.
+func (g *loadgen) fire(seq int) {
+	req, err := http.NewRequest(http.MethodPost, g.url, bytes.NewReader(g.query(seq)))
+	if err != nil {
+		g.recordError()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if g.reqTimeout != "" {
+		req.Header.Set("Request-Timeout", g.reqTimeout)
+	}
+	if g.bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+g.bearer)
+	}
+	begin := time.Now()
+	resp, err := g.client.Do(req)
+	elapsed := time.Since(begin)
+	if err != nil {
+		g.recordError()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	retry := 0
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		fmt.Sscanf(v, "%d", &retry)
+	}
+	g.mu.Lock()
+	b := g.byStatus[resp.StatusCode]
+	if b == nil {
+		b = &statusBucket{}
+		g.byStatus[resp.StatusCode] = b
+	}
+	b.latencies = append(b.latencies, float64(elapsed.Microseconds())/1e3)
+	if retry > 0 {
+		b.retryAfter++
+	}
+	g.mu.Unlock()
+}
+
+func (g *loadgen) recordError() {
+	g.mu.Lock()
+	g.transportErrors++
+	g.mu.Unlock()
+}
+
+// query builds the seq'th request body. The literal embeds seq, so every
+// request canonicalises to a fresh cache key; the join chain repeats to the
+// configured depth to buy plan size.
+func (g *loadgen) query(seq int) []byte {
+	var b strings.Builder
+	b.WriteString("SELECT t0.a FROM t0")
+	for j := 1; j <= g.joins; j++ {
+		fmt.Fprintf(&b, " JOIN t%d ON t%d.id = t%d.id", j, j-1, j)
+	}
+	fmt.Fprintf(&b, " WHERE t0.a > %d AND t0.b < %d", seq, seq+7)
+	body, _ := json.Marshal(map[string]string{"sql": b.String()})
+	return body
+}
+
+// summary is the run's machine-readable report.
+type summary struct {
+	OfferedRate     float64                  `json:"offered_rate"`
+	DurationSeconds float64                  `json:"duration_seconds"`
+	Sent            int                      `json:"sent"`
+	Completed       int                      `json:"completed"`
+	DroppedClient   int                      `json:"dropped_client"`
+	TransportErrors int                      `json:"transport_errors"`
+	Goodput2xx      float64                  `json:"goodput_2xx_per_sec"`
+	Status          map[string]statusSummary `json:"status"`
+}
+
+type statusSummary struct {
+	Count      int     `json:"count"`
+	RetryAfter int     `json:"retry_after_present"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+}
+
+func (b *statusBucket) summarize() statusSummary {
+	ls := append([]float64(nil), b.latencies...)
+	sort.Float64s(ls)
+	q := func(p float64) float64 {
+		if len(ls) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(ls)-1))
+		return ls[i]
+	}
+	return statusSummary{
+		Count:      len(ls),
+		RetryAfter: b.retryAfter,
+		P50Millis:  q(0.50),
+		P95Millis:  q(0.95),
+		P99Millis:  q(0.99),
+		MaxMillis:  q(1.0),
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// OverloadError reports a query refused by bounded-wait admission: every
+// candidate shard's estimated wait exceeded the configured bound. It carries
+// the numbers the refusal was decided on so the HTTP layer can answer 429
+// with an honest Retry-After.
+type OverloadError struct {
+	// EstWaitMicros is the smallest wait estimate across the candidate
+	// shards — the soonest the fleet could plausibly have served the query.
+	EstWaitMicros float64
+	// BoundMicros is the admission bound the estimate exceeded.
+	BoundMicros float64
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("overloaded: estimated wait %.1fms exceeds bound %.1fms",
+		e.EstWaitMicros/1e3, e.BoundMicros/1e3)
+}
+
+// RetryAfter is the client back-off hint: the time for the least-loaded
+// candidate's backlog to drain back inside the bound, never less than one
+// second (429 Retry-After has whole-second granularity).
+func (e *OverloadError) RetryAfter() time.Duration {
+	d := time.Duration((e.EstWaitMicros - e.BoundMicros) * 1e3 * float64(time.Nanosecond))
+	d = d.Round(time.Second)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// ExpiredError reports a query dropped because its deadline passed before a
+// model could run it — at dispatch, before planning, or while queued. The
+// HTTP layer answers it with 504 Gateway Timeout.
+type ExpiredError struct{}
+
+func (e *ExpiredError) Error() string { return "request deadline expired before prediction" }
+
+// admit resolves bounded-wait dispatch for a home shard. It is pick() with
+// a wait bound layered on: detour first — a hot hash bucket must spill onto
+// idle replicas before anything is refused — and shed only when every
+// candidate shard (home included) estimates a wait past the bound. The
+// returned minWaitMicros is the smallest estimate seen across candidates,
+// which prices the Retry-After hint when shed is true.
+//
+// A shard with no service-time evidence yet estimates 0 and is always
+// admitted: admission control needs observations to refuse work, so a cold
+// engine behaves exactly like the pre-admission dispatcher until its first
+// flush lands.
+func (se *ShardedEngine) admit(home *Engine) (sh *Engine, minWaitMicros float64, shed bool) {
+	bound := se.maxEstWaitMicros
+	hw := home.estWaitMicros()
+	if hw <= bound && !home.saturated() && !home.quiescing.Load() {
+		return home, hw, false
+	}
+	// Candidates mirror pick()'s detour rules — same weight generation, not
+	// quiescing — plus a saturation check, but rank by wait estimate rather
+	// than raw queue depth: two equal-depth queues drain at different rates
+	// once their service times diverge.
+	gen := home.weightGen.Load()
+	minWaitMicros = hw
+	var best *Engine
+	bestWait := 0.0
+	for _, s := range se.shards {
+		if s == home || s.quiescing.Load() || s.weightGen.Load() != gen {
+			continue
+		}
+		w := s.estWaitMicros()
+		if w < minWaitMicros {
+			minWaitMicros = w
+		}
+		if s.saturated() {
+			continue
+		}
+		if best == nil || w < bestWait {
+			best, bestWait = s, w
+		}
+	}
+	if best != nil && bestWait <= bound {
+		return best, minWaitMicros, false
+	}
+	// No peer qualifies. Home keeps its traffic as long as its own estimate
+	// is inside the bound: a saturated or quiescing home still answers
+	// today (through the serialised fallback), and bounded mode must not
+	// take that away — it only adds the right to refuse unbounded waits.
+	if hw <= bound {
+		return home, minWaitMicros, false
+	}
+	return nil, minWaitMicros, true
+}
+
+// PredictSQLCtx is PredictSQLGenCtx without the generation tag.
+func (se *ShardedEngine) PredictSQLCtx(ctx context.Context, sql string) (Prediction, error) {
+	p, _, err := se.PredictSQLGenCtx(ctx, sql)
+	return p, err
+}
+
+// PredictSQLGenCtx is PredictSQLGen with per-request deadlines and bounded-
+// wait admission. A nil ctx means no deadline; with the bound also unset
+// (MaxEstWait <= 0) the call delegates to the exact pre-admission dispatch
+// path, so a deployment that enables neither feature serves byte-identically
+// to the blocking engine.
+//
+// Deadlines: work that is already expired is dropped here — before
+// canonical-key dispatch picks a batcher — and counted against the home
+// shard; expiry deeper in the pipeline is handled by predictKeyCtx. Both
+// surface as *ExpiredError.
+//
+// Shedding: a home cache hit never queues, so it is served before the
+// admission decision — hot templates ride through overload for free, which
+// is what keeps shed-mode throughput at the unshedded peak. Only a miss
+// pays the admit() check, and a refusal surfaces as *OverloadError charged
+// to the home shard's Shed counter.
+func (se *ShardedEngine) PredictSQLGenCtx(ctx context.Context, sql string) (Prediction, int64, error) {
+	if ctx == nil && se.maxEstWaitMicros <= 0 {
+		return se.PredictSQLGen(sql)
+	}
+	key := CanonicalSQL(sql)
+	home := se.shards[se.shardOf(key)]
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			home.tel.Expired.Inc()
+			return Prediction{}, 0, &ExpiredError{}
+		}
+	}
+	if se.maxEstWaitMicros <= 0 {
+		// Deadline-only mode: today's dispatch, with the context threaded
+		// through so mid-queue expiry can abandon the wait.
+		sh := se.pick(home)
+		if sh == home {
+			return home.predictKeyCtx(ctx, sql, key)
+		}
+		if p, g, ok := home.cachePeek(key); ok {
+			return p, g, nil
+		}
+		p, g, err := sh.predictKeyCtx(ctx, sql, key)
+		if err == nil {
+			home.cachePut(key, p, g)
+		}
+		return p, g, err
+	}
+	if p, g, ok := home.cachePeek(key); ok {
+		return p, g, nil
+	}
+	sh, minWait, shed := se.admit(home)
+	if shed {
+		home.tel.Shed.Inc()
+		return Prediction{}, 0, &OverloadError{EstWaitMicros: minWait, BoundMicros: se.maxEstWaitMicros}
+	}
+	if sh == home {
+		return home.predictKeyCtx(ctx, sql, key)
+	}
+	p, g, err := sh.predictKeyCtx(ctx, sql, key)
+	if err == nil {
+		// Same deposit rule as the saturation detour: land the answer where
+		// future lookups for the key will hash.
+		home.cachePut(key, p, g)
+	}
+	return p, g, err
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -40,6 +41,13 @@ type Config struct {
 	// mutex. It only takes effect when the model consults a conv cache
 	// (models implementing SetConvCache).
 	SubtreeCacheSize int
+	// MaxEstWait is the bounded-latency admission target: a query whose
+	// estimated wait (queue depth × EWMA service time) exceeds it on every
+	// candidate shard is shed instead of enqueued. 0 (the default) disables
+	// shedding entirely — dispatch then takes the exact pre-admission path,
+	// byte for byte. Only the sharded dispatcher consults it; a bare Engine
+	// never sheds.
+	MaxEstWait time.Duration
 	// Quantize routes inference through the model's int8 kernels when the
 	// model supports them (models.Quantizer). Predictions then carry a
 	// bounded quantisation error instead of being byte-identical to the
@@ -87,6 +95,10 @@ type predictResult struct {
 // predictJob is one in-flight query travelling from an HTTP handler
 // goroutine to the batcher and back.
 type predictJob struct {
+	// ctx carries the request deadline into the queue; nil means the job
+	// cannot expire (the pre-admission paths never set it). A flush drops
+	// jobs whose ctx has ended before the model sees them.
+	ctx   context.Context
 	trace *workload.Trace
 	key   string             // canonical SQL, for single-flight dedup in flush
 	enc   any                // filled by the concurrent encode stage
@@ -251,6 +263,48 @@ func (e *Engine) predictKey(sql, key string) (Prediction, int64, error) {
 	return p, gen, nil
 }
 
+// predictKeyCtx is predictKey with a request deadline. A nil ctx delegates
+// to the exact pre-deadline path. Cache hits are served regardless of the
+// deadline — they cost nothing and never touch a batcher. On a miss, work
+// whose deadline has already passed is dropped before planning (and so
+// before any batcher), and a deadline that expires while the job is queued
+// abandons the wait without occupying a model slot. Both drops count once
+// on this shard's Expired counter and surface as ExpiredError.
+func (e *Engine) predictKeyCtx(ctx context.Context, sql, key string) (Prediction, int64, error) {
+	if ctx == nil {
+		return e.predictKey(sql, key)
+	}
+	if e.cache != nil {
+		if p, g, ok := e.cache.Get(key); ok {
+			return p, g, nil
+		}
+	}
+	if ctx.Err() != nil {
+		e.tel.Expired.Inc()
+		return Prediction{}, 0, &ExpiredError{}
+	}
+	plan, err := logicalplan.PlanSQL(sql)
+	if err != nil {
+		return Prediction{}, 0, fmt.Errorf("parse: %w", err)
+	}
+	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
+	y, gen, norm, err := e.submitCtx(ctx, tr, key)
+	if err != nil {
+		return Prediction{}, 0, err
+	}
+	p := Prediction{
+		CPUMinutes: norm.Denormalize(y),
+		Normalized: y,
+		PlanNodes:  plan.NodeCount(),
+		PlanDepth:  plan.MaxDepth(),
+		Tables:     len(plan.Tables()),
+	}
+	if e.cache != nil {
+		e.cache.Put(key, p, gen)
+	}
+	return p, gen, nil
+}
+
 // submit enqueues a planned trace and blocks for its prediction. When the
 // queue is saturated or the engine is closed it degrades to the serialised
 // single-query path instead of blocking or failing.
@@ -268,6 +322,43 @@ func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64, workloa
 	}
 	e.mu.RUnlock()
 	return e.serialPredict(tr)
+}
+
+// submitCtx is submit with a deadline: the job carries ctx into the queue,
+// and the wait is abandoned the moment the deadline passes — the flush that
+// eventually drains the job sees its dead context and drops it before the
+// model runs, so an expired request never occupies a model slot. A result
+// that is already delivered when the deadline fires is still returned
+// rather than wasted.
+func (e *Engine) submitCtx(ctx context.Context, tr *workload.Trace, key string) (float64, int64, workload.Normalizer, error) {
+	e.mu.RLock()
+	if !e.closed {
+		job := &predictJob{ctx: ctx, trace: tr, key: key, done: make(chan predictResult, 1)}
+		select {
+		case e.jobs <- job:
+			e.mu.RUnlock()
+			select {
+			case res := <-job.done:
+				return res.y, res.gen, res.norm, nil
+			case <-ctx.Done():
+				select {
+				case res := <-job.done:
+					return res.y, res.gen, res.norm, nil
+				default:
+				}
+				e.tel.Expired.Inc()
+				return 0, 0, workload.Normalizer{}, &ExpiredError{}
+			}
+		default:
+		}
+	}
+	e.mu.RUnlock()
+	if ctx.Err() != nil {
+		e.tel.Expired.Inc()
+		return 0, 0, workload.Normalizer{}, &ExpiredError{}
+	}
+	y, gen, norm := e.serialPredict(tr)
+	return y, gen, norm, nil
 }
 
 // serialPredict is the engine's serialised fallback: one model round trip
@@ -365,6 +456,28 @@ func (e *Engine) collect(first *predictJob, wait bool) []*predictJob {
 // result could reach the cache — are single-flighted: the model sees one
 // row per distinct canonical key and every duplicate job shares its answer.
 func (e *Engine) flush(batch []*predictJob) {
+	start := time.Now()
+	// Deadline-expired jobs are dropped here, before the single-flight dedup
+	// and before the model sees a row: an expired job must neither occupy a
+	// model slot nor stand in as the representative for live duplicates of
+	// its key. The waiting handler has already unblocked (and counted the
+	// expiry) through its context, so the skip itself is accounting-free.
+	live := batch
+	for _, j := range batch {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			live = batch[:0]
+			for _, k := range batch {
+				if k.ctx == nil || k.ctx.Err() == nil {
+					live = append(live, k)
+				}
+			}
+			break
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	batch = live
 	uniq := make([]*predictJob, 0, len(batch))
 	rows := make([]int, len(batch))
 	rowOf := make(map[string]int, len(batch))
@@ -435,10 +548,21 @@ func (e *Engine) flush(batch []*predictJob) {
 	e.tel.Batches.Inc()
 	e.tel.Coalesced.Add(int64(len(batch)))
 	e.tel.BatchSizes.Observe(int64(len(uniq)))
+	// Per-query drain time: the whole flush (encode fan-out + model call)
+	// divided by the jobs it retired. Duplicates count — they drain queue
+	// slots in the same flush — so the EWMA reflects the real rate at which
+	// queued work clears, which is exactly what queue-depth × service-time
+	// admission estimates need.
+	e.tel.ServiceTime.Observe(float64(time.Since(start).Nanoseconds()) / 1e3 / float64(len(batch)))
 	for i, j := range batch {
 		j.done <- predictResult{y: ys[rows[i]], gen: gen, norm: norm}
 	}
 }
+
+// estWaitMicros is the shard's live admission signal: the estimated queue
+// wait for a job enqueued now. 0 means the shard has no service-time
+// evidence yet (or an empty queue) and admits freely.
+func (e *Engine) estWaitMicros() float64 { return e.tel.EstWaitMicros(len(e.jobs)) }
 
 // Snapshot returns the shard's telemetry snapshot: the group's atomic
 // counters plus the gauges sampled here (queue depth, cache entries, weight
@@ -453,7 +577,14 @@ func (e *Engine) Snapshot() telemetry.ShardSnapshot {
 	if e.convCache != nil {
 		subEntries, subBytes = e.convCache.Stats()
 	}
-	return e.tel.Snapshot(len(e.jobs), entries, subEntries, subBytes, e.weightGen.Load(), e.quantized)
+	return e.tel.Snapshot(telemetry.ShardGauges{
+		Queued:         len(e.jobs),
+		CacheEntries:   entries,
+		SubtreeEntries: subEntries,
+		SubtreeBytes:   subBytes,
+		Generation:     e.weightGen.Load(),
+		Quantized:      e.quantized,
+	})
 }
 
 // kernelName renders a quantisation flag as the kernel-mode label shared by

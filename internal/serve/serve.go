@@ -15,6 +15,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -26,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -131,6 +133,7 @@ type Stats struct {
 
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
+	Throttled   int64   `json:"throttled"`
 	TotalMillis int64   `json:"total_millis"`
 	AvgMillis   float64 `json:"avg_millis"`
 	P50Millis   float64 `json:"p50_millis"`
@@ -155,6 +158,15 @@ type Stats struct {
 	SubtreeHitRate float64 `json:"subtree_cache_hit_rate"`
 	SubtreeEntries int     `json:"subtree_cache_entries"`
 	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
+
+	// Shed counts queries refused by bounded-wait admission (429), Expired
+	// counts queries dropped because their deadline passed (504), and
+	// MaxEstWaitMillis is the worst per-shard wait estimate at snapshot time
+	// — the number to compare against -max-est-wait, since admission sheds
+	// on the best candidate shard, not a fleet average.
+	Shed             int64   `json:"shed"`
+	Expired          int64   `json:"expired"`
+	MaxEstWaitMillis float64 `json:"max_est_wait_millis"`
 
 	// WeightGeneration is the generation of the last reload — weight-only or
 	// full-bundle — that completed on every shard; the counter covers the
@@ -193,10 +205,17 @@ type ShardStats struct {
 	SubtreeMisses  int64   `json:"subtree_cache_misses"`
 	SubtreeEntries int     `json:"subtree_cache_entries"`
 	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
-	Queued         int     `json:"queued"`
-	Generation     int64   `json:"generation"`
-	Quantized      bool    `json:"quantized"`
-	QuantMaxError  float64 `json:"quant_max_error"`
+	Shed           int64   `json:"shed"`
+	Expired        int64   `json:"expired"`
+	// ServiceTimeMillis is the EWMA per-query drain time of the shard's
+	// batcher; EstWaitMillis is queue depth × that EWMA — the admission
+	// controller's live signal, sampled at snapshot time.
+	ServiceTimeMillis float64 `json:"service_time_millis"`
+	EstWaitMillis     float64 `json:"est_wait_millis"`
+	Queued            int     `json:"queued"`
+	Generation        int64   `json:"generation"`
+	Quantized         bool    `json:"quantized"`
+	QuantMaxError     float64 `json:"quant_max_error"`
 }
 
 // endpoints is the server's fixed route table, which doubles as the label
@@ -225,6 +244,10 @@ type Server struct {
 	// surfaces (POST /v1/reload and /debug/pprof/); when empty, they are
 	// restricted to loopback peers.
 	reloadToken string
+
+	// quota, when non-nil, rate-limits the serving endpoints per client
+	// (bearer token, else remote IP). See SetClientQuota.
+	quota *clientQuota
 
 	tel     *telemetry.HTTPGroup
 	started time.Time
@@ -294,6 +317,15 @@ func (w *statusWriter) Status() int {
 // address may use them with the token. With no token set (the default), they
 // are only accepted from loopback addresses.
 func (s *Server) SetReloadToken(token string) { s.reloadToken = token }
+
+// SetClientQuota enables per-client token-bucket quotas on the serving
+// endpoints: each client — keyed by bearer token when presented, remote IP
+// otherwise — accrues qps tokens per second up to burst, and a request past
+// its allowance answers 429 with a Retry-After before touching the engine.
+// qps <= 0 disables quotas (the default). Call before serving traffic.
+func (s *Server) SetClientQuota(qps float64, burst int) {
+	s.quota = newClientQuota(qps, burst)
+}
 
 // Engine exposes the underlying sharded dispatcher, e.g. for benchmarks.
 func (s *Server) Engine() *ShardedEngine { return s.eng }
@@ -379,6 +411,82 @@ func decodeSQL(w http.ResponseWriter, r *http.Request) (string, int, error) {
 	return req.SQL, 0, nil
 }
 
+// requestDeadline derives the per-request context from the deadline
+// headers. Request-Timeout carries a relative budget — a Go duration string
+// ("250ms") or a plain number of seconds ("0.25") — and X-Request-Deadline
+// an absolute RFC 3339 instant; when both are present the earlier deadline
+// wins. The returned context is nil when neither header is set, which
+// selects the engine's deadline-free path; otherwise it descends from the
+// request context, so a client that hangs up cancels its queued work the
+// same way an expiry would.
+func requestDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	var deadline time.Time
+	if v := r.Header.Get("Request-Timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			secs, ferr := strconv.ParseFloat(v, 64)
+			if ferr != nil {
+				return nil, nil, fmt.Errorf("bad Request-Timeout header: %q", v)
+			}
+			d = time.Duration(secs * float64(time.Second))
+		}
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("bad Request-Timeout header: %q (want a positive duration)", v)
+		}
+		deadline = time.Now().Add(d)
+	}
+	if v := r.Header.Get("X-Request-Deadline"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad X-Request-Deadline header: %q (want RFC 3339)", v)
+		}
+		if deadline.IsZero() || t.Before(deadline) {
+			deadline = t
+		}
+	}
+	if deadline.IsZero() {
+		return nil, nil, nil
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	return ctx, cancel, nil
+}
+
+// clientKey identifies the requester for quota accounting: the bearer token
+// when one is presented (each tenant gets its own bucket regardless of
+// address), the remote IP otherwise — port excluded, so one host cannot
+// mint a fresh bucket per connection.
+func clientKey(r *http.Request) string {
+	const bearer = "Bearer "
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, bearer) {
+		return auth[len(bearer):]
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// throttle enforces the per-client quota on one serving request, answering
+// 429 + Retry-After and reporting true when the client is out of tokens.
+// It runs after the caller's Requests.Inc and deferred observe, and fails
+// through s.fail, so a throttled request lands in the request total, the
+// error counter, the latency histogram and the status-class counters
+// exactly once — the same accounting contract as every other terminal path.
+func (s *Server) throttle(w http.ResponseWriter, r *http.Request) bool {
+	if s.quota == nil {
+		return false
+	}
+	ok, retry := s.quota.Allow(clientKey(r), time.Now())
+	if ok {
+		return false
+	}
+	s.tel.Throttled.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+	s.fail(w, http.StatusTooManyRequests, fmt.Errorf("client quota exceeded, retry in %s", retry))
+	return true
+}
+
 // observe folds one finished request — success or failure — into the
 // latency histogram, so AvgMillis and the percentiles cover every terminal
 // path. It observes microseconds: cache hits routinely finish in well under
@@ -403,17 +511,47 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.tel.Requests.Inc()
 	defer s.observe(start)
+	if s.throttle(w, r) {
+		return
+	}
+	ctx, cancel, err := requestDeadline(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
 	sql, code, err := decodeSQL(w, r)
 	if err != nil {
 		s.fail(w, code, err)
 		return
 	}
-	pred, gen, err := s.eng.PredictSQLGen(sql)
+	pred, gen, err := s.eng.PredictSQLGenCtx(ctx, sql)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, err)
+		s.failPredict(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Generation: gen, Kernel: s.eng.Kernel()})
+}
+
+// failPredict maps an engine error onto its status: 429 + Retry-After for a
+// shed query, 504 for an expired deadline, 422 for anything the planner
+// refused. Every arm flows through s.fail, so each terminal lands in the
+// error counter and (via the caller's deferred observe and the handle
+// wrapper) the latency histogram and status-class counters exactly once.
+func (s *Server) failPredict(w http.ResponseWriter, err error) {
+	var over *OverloadError
+	var expired *ExpiredError
+	switch {
+	case errors.As(err, &over):
+		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter()/time.Second)))
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &expired):
+		s.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 // explainResponse carries the plan views of /v1/explain.
@@ -429,6 +567,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.tel.Requests.Inc()
 	defer s.observe(start)
+	if s.throttle(w, r) {
+		return
+	}
 	sql, code, err := decodeSQL(w, r)
 	if err != nil {
 		s.fail(w, code, err)
@@ -596,6 +737,7 @@ func (s *Server) Snapshot() telemetry.Snapshot {
 		Goroutines:    runtime.NumGoroutine(),
 		Requests:      s.tel.Requests.Load(),
 		Errors:        s.tel.Errors.Load(),
+		Throttled:     s.tel.Throttled.Load(),
 		Latency:       s.tel.Latency.Snapshot(),
 		Responses:     s.tel.Responses.Snapshot(),
 		Engine:        s.eng.Snapshot(),
@@ -614,6 +756,7 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 		Goroutines:       snap.Goroutines,
 		Requests:         snap.Requests,
 		Errors:           snap.Errors,
+		Throttled:        snap.Throttled,
 		TotalMillis:      snap.Latency.Sum / 1e3,
 		P50Millis:        snap.Latency.Quantile(0.50) / 1e3,
 		P95Millis:        snap.Latency.Quantile(0.95) / 1e3,
@@ -627,6 +770,9 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 		SubtreeMisses:    tot.SubtreeMisses,
 		SubtreeEntries:   tot.SubtreeEntries,
 		SubtreeBytes:     tot.SubtreeBytes,
+		Shed:             tot.Shed,
+		Expired:          tot.Expired,
+		MaxEstWaitMillis: tot.MaxEstWaitMicros / 1e3,
 		WeightGeneration: snap.Engine.Generation,
 		Reloads:          snap.Engine.Reloads,
 		RejectedReloads:  snap.Engine.RejectedBundles,
@@ -649,20 +795,24 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 	}
 	for _, m := range snap.Engine.Shards {
 		sh := ShardStats{
-			Shard:          m.Shard,
-			Batches:        m.Batches,
-			Coalesced:      m.Coalesced,
-			CacheHits:      m.CacheHits,
-			CacheMisses:    m.CacheMisses,
-			CacheEntries:   m.CacheEntries,
-			SubtreeHits:    m.SubtreeHits,
-			SubtreeMisses:  m.SubtreeMisses,
-			SubtreeEntries: m.SubtreeEntries,
-			SubtreeBytes:   m.SubtreeBytes,
-			Queued:         m.Queued,
-			Generation:     m.Generation,
-			Quantized:      m.Quantized,
-			QuantMaxError:  m.QuantMaxError,
+			Shard:             m.Shard,
+			Batches:           m.Batches,
+			Coalesced:         m.Coalesced,
+			CacheHits:         m.CacheHits,
+			CacheMisses:       m.CacheMisses,
+			CacheEntries:      m.CacheEntries,
+			SubtreeHits:       m.SubtreeHits,
+			SubtreeMisses:     m.SubtreeMisses,
+			SubtreeEntries:    m.SubtreeEntries,
+			SubtreeBytes:      m.SubtreeBytes,
+			Shed:              m.Shed,
+			Expired:           m.Expired,
+			ServiceTimeMillis: m.ServiceTimeMicros / 1e3,
+			EstWaitMillis:     m.EstWaitMicros / 1e3,
+			Queued:            m.Queued,
+			Generation:        m.Generation,
+			Quantized:         m.Quantized,
+			QuantMaxError:     m.QuantMaxError,
 		}
 		if m.Batches > 0 {
 			sh.AvgBatchSize = float64(m.Coalesced) / float64(m.Batches)

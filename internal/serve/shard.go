@@ -72,6 +72,11 @@ func Replicas(pred *Predictor, n int) []*Predictor {
 type ShardedEngine struct {
 	shards []*Engine
 
+	// maxEstWaitMicros is the bounded-wait admission target in microseconds
+	// (Config.MaxEstWait), fixed at construction. <= 0 disables shedding:
+	// PredictSQLGenCtx then dispatches exactly like PredictSQLGen.
+	maxEstWaitMicros float64
+
 	// reloadMu serialises rolls of either kind (weight-only and
 	// full-bundle): at most one bundle is ever in flight, so at any instant
 	// shards carry at most two generations (the outgoing and the incoming
@@ -118,7 +123,10 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 	if cfg.SubtreeCacheSize > 0 {
 		per.SubtreeCacheSize = (cfg.SubtreeCacheSize + len(preds) - 1) / len(preds)
 	}
-	se := &ShardedEngine{shards: make([]*Engine, len(preds))}
+	se := &ShardedEngine{
+		shards:           make([]*Engine, len(preds)),
+		maxEstWaitMicros: float64(cfg.MaxEstWait.Microseconds()),
+	}
 	se.generation.Store(initialGeneration)
 	se.ident.Store(&modelIdent{name: preds[0].Model.Name(), params: preds[0].Model.ParamCount()})
 	for i, p := range preds {

@@ -161,7 +161,7 @@ func TestConcurrentObserveSnapshot(t *testing.T) {
 				} else {
 					lastCount = c
 				}
-				g.Snapshot(0, 0, 0, 0, 1, false)
+				g.Snapshot(ShardGauges{Generation: 1})
 				rc.Snapshot()
 			}
 		}()

@@ -40,6 +40,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.printf("prestroid_requests_total %d\n", s.Requests)
 	p.header("prestroid_request_errors_total", "Serving requests answered with an error status.", "counter")
 	p.printf("prestroid_request_errors_total %d\n", s.Errors)
+	p.header("prestroid_request_throttled_total", "Serving requests refused by per-client quotas (429 before reaching the engine).", "counter")
+	p.printf("prestroid_request_throttled_total %d\n", s.Throttled)
 
 	p.header("prestroid_request_latency_seconds", "Serving-request latency over every terminal path.", "histogram")
 	p.histogram("prestroid_request_latency_seconds", "", s.Latency, 1e6)
@@ -101,6 +103,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		})
 	p.shardFloatSeries("prestroid_shard_quant_max_error", "Worst absolute int8 quantisation error observed on the shard (0 when float).", "gauge",
 		e.Shards, func(s ShardSnapshot) float64 { return s.QuantMaxError })
+	p.shardSeries("prestroid_shard_shed_total", "Queries refused by bounded-wait admission control, per home shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.Shed })
+	p.shardSeries("prestroid_shard_expired_total", "Queries dropped because their deadline passed, per shard.", "counter",
+		e.Shards, func(s ShardSnapshot) int64 { return s.Expired })
+	p.shardFloatSeries("prestroid_shard_service_time_seconds", "EWMA per-query drain time through the shard's batcher (0 until the first flush).", "gauge",
+		e.Shards, func(s ShardSnapshot) float64 { return s.ServiceTimeMicros / 1e6 })
+	p.shardFloatSeries("prestroid_shard_est_wait_seconds", "Estimated wait for new work: queue depth times EWMA service time, per shard.", "gauge",
+		e.Shards, func(s ShardSnapshot) float64 { return s.EstWaitMicros / 1e6 })
 	return p.err
 }
 

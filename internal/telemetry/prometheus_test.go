@@ -29,6 +29,7 @@ func goldenSnapshot() Snapshot {
 		Goroutines:    9,
 		Requests:      42,
 		Errors:        3,
+		Throttled:     2,
 		Latency:       lat.Snapshot(),
 		Responses: []EndpointResponses{
 			{Endpoint: "/v1/predict", Classes: [5]int64{0, 40, 0, 2, 0}},
@@ -46,6 +47,7 @@ func goldenSnapshot() Snapshot {
 				{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
 					CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
 					SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
+					Shed: 3, Expired: 1, ServiceTimeMicros: 1500, EstWaitMicros: 1500,
 					Queued: 1, Generation: 2, Quantized: true, QuantMaxError: 0.0042},
 				{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
 					CacheMisses: 2, CacheEntries: 2,
@@ -75,6 +77,9 @@ prestroid_requests_total 42
 # HELP prestroid_request_errors_total Serving requests answered with an error status.
 # TYPE prestroid_request_errors_total counter
 prestroid_request_errors_total 3
+# HELP prestroid_request_throttled_total Serving requests refused by per-client quotas (429 before reaching the engine).
+# TYPE prestroid_request_throttled_total counter
+prestroid_request_throttled_total 2
 # HELP prestroid_request_latency_seconds Serving-request latency over every terminal path.
 # TYPE prestroid_request_latency_seconds histogram
 prestroid_request_latency_seconds_bucket{le="0.001"} 1
@@ -175,6 +180,22 @@ prestroid_shard_quantized{shard="1"} 1
 # TYPE prestroid_shard_quant_max_error gauge
 prestroid_shard_quant_max_error{shard="0"} 0.0042
 prestroid_shard_quant_max_error{shard="1"} 0
+# HELP prestroid_shard_shed_total Queries refused by bounded-wait admission control, per home shard.
+# TYPE prestroid_shard_shed_total counter
+prestroid_shard_shed_total{shard="0"} 3
+prestroid_shard_shed_total{shard="1"} 0
+# HELP prestroid_shard_expired_total Queries dropped because their deadline passed, per shard.
+# TYPE prestroid_shard_expired_total counter
+prestroid_shard_expired_total{shard="0"} 1
+prestroid_shard_expired_total{shard="1"} 0
+# HELP prestroid_shard_service_time_seconds EWMA per-query drain time through the shard's batcher (0 until the first flush).
+# TYPE prestroid_shard_service_time_seconds gauge
+prestroid_shard_service_time_seconds{shard="0"} 0.0015
+prestroid_shard_service_time_seconds{shard="1"} 0
+# HELP prestroid_shard_est_wait_seconds Estimated wait for new work: queue depth times EWMA service time, per shard.
+# TYPE prestroid_shard_est_wait_seconds gauge
+prestroid_shard_est_wait_seconds{shard="0"} 0.0015
+prestroid_shard_est_wait_seconds{shard="1"} 0
 `
 
 func TestWritePrometheusGolden(t *testing.T) {

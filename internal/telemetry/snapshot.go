@@ -12,8 +12,11 @@ type ShardGroup struct {
 	CacheMisses   Counter
 	SubtreeHits   Counter    // pooled-conv partial results served from cache
 	SubtreeMisses Counter    // sub-tree convolutions actually computed
+	Shed          Counter    // queries refused by bounded-wait admission
+	Expired       Counter    // queries dropped because their deadline passed
 	BatchSizes    *Histogram // deduplicated rows per flushed batch
 	QuantErr      MaxGauge   // worst absolute int8 quantisation error observed
+	ServiceTime   EWMA       // per-query drain time through the batcher, microseconds
 }
 
 // NewShardGroup builds a shard group with the standard batch-size buckets.
@@ -21,26 +24,48 @@ func NewShardGroup() *ShardGroup {
 	return &ShardGroup{BatchSizes: NewHistogram(BatchBuckets())}
 }
 
+// EstWaitMicros is the admission controller's wait estimate for a shard
+// with `queued` jobs ahead: queue depth times the EWMA per-query service
+// time. 0 means no estimate yet (cold shard) — admission treats that as
+// "no evidence of overload" and admits.
+func (g *ShardGroup) EstWaitMicros(queued int) float64 {
+	return float64(queued) * g.ServiceTime.Load()
+}
+
+// ShardGauges carries the point-in-time gauges a shard's owner samples at
+// snapshot time — state that lives in other structures (queue, caches,
+// weight generation) rather than in the counter group.
+type ShardGauges struct {
+	Queued         int
+	CacheEntries   int
+	SubtreeEntries int
+	SubtreeBytes   int64
+	Generation     int64
+	Quantized      bool
+}
+
 // Snapshot folds the group's counters with the gauges the owner sampled at
-// call time (queue depth, prediction-cache entries, subtree-cache entries
-// and payload bytes, weight generation, serving kernel mode). The caller
-// fills in the shard index.
-func (g *ShardGroup) Snapshot(queued, cacheEntries, subtreeEntries int, subtreeBytes, generation int64, quantized bool) ShardSnapshot {
+// call time. The caller fills in the shard index.
+func (g *ShardGroup) Snapshot(gauges ShardGauges) ShardSnapshot {
 	return ShardSnapshot{
-		Batches:        g.Batches.Load(),
-		Coalesced:      g.Coalesced.Load(),
-		BatchSizes:     g.BatchSizes.Snapshot(),
-		CacheHits:      g.CacheHits.Load(),
-		CacheMisses:    g.CacheMisses.Load(),
-		CacheEntries:   cacheEntries,
-		SubtreeHits:    g.SubtreeHits.Load(),
-		SubtreeMisses:  g.SubtreeMisses.Load(),
-		SubtreeEntries: subtreeEntries,
-		SubtreeBytes:   subtreeBytes,
-		Queued:         queued,
-		Generation:     generation,
-		Quantized:      quantized,
-		QuantMaxError:  g.QuantErr.Load(),
+		Batches:           g.Batches.Load(),
+		Coalesced:         g.Coalesced.Load(),
+		BatchSizes:        g.BatchSizes.Snapshot(),
+		CacheHits:         g.CacheHits.Load(),
+		CacheMisses:       g.CacheMisses.Load(),
+		CacheEntries:      gauges.CacheEntries,
+		SubtreeHits:       g.SubtreeHits.Load(),
+		SubtreeMisses:     g.SubtreeMisses.Load(),
+		SubtreeEntries:    gauges.SubtreeEntries,
+		SubtreeBytes:      gauges.SubtreeBytes,
+		Shed:              g.Shed.Load(),
+		Expired:           g.Expired.Load(),
+		ServiceTimeMicros: g.ServiceTime.Load(),
+		EstWaitMicros:     g.EstWaitMicros(gauges.Queued),
+		Queued:            gauges.Queued,
+		Generation:        gauges.Generation,
+		Quantized:         gauges.Quantized,
+		QuantMaxError:     g.QuantErr.Load(),
 	}
 }
 
@@ -57,10 +82,18 @@ type ShardSnapshot struct {
 	SubtreeMisses  int64
 	SubtreeEntries int
 	SubtreeBytes   int64
-	Queued         int
-	Generation     int64
-	Quantized      bool    // shard serves through the int8 kernels
-	QuantMaxError  float64 // worst absolute quantisation error observed (0 if float)
+	// Shed and Expired count admission refusals and deadline drops charged
+	// to this shard; ServiceTimeMicros and EstWaitMicros are the live EWMA
+	// per-query service time and the queue-depth × service-time wait
+	// estimate admission control decides on (0 = no samples yet).
+	Shed              int64
+	Expired           int64
+	ServiceTimeMicros float64
+	EstWaitMicros     float64
+	Queued            int
+	Generation        int64
+	Quantized         bool    // shard serves through the int8 kernels
+	QuantMaxError     float64 // worst absolute quantisation error observed (0 if float)
 }
 
 // EngineSnapshot is the sharded engine's full telemetry state: per-shard
@@ -97,7 +130,13 @@ type ShardTotals struct {
 	SubtreeMisses  int64
 	SubtreeEntries int
 	SubtreeBytes   int64
-	Queued         int
+	Shed           int64
+	Expired        int64
+	// MaxEstWaitMicros is the worst per-shard wait estimate — the number an
+	// operator compares against -max-est-wait, since admission sheds on the
+	// best candidate shard, not on a fleet average.
+	MaxEstWaitMicros float64
+	Queued           int
 }
 
 // Totals sums the snapshot's per-shard groups.
@@ -114,6 +153,11 @@ func (e EngineSnapshot) Totals() ShardTotals {
 		t.SubtreeMisses += s.SubtreeMisses
 		t.SubtreeEntries += s.SubtreeEntries
 		t.SubtreeBytes += s.SubtreeBytes
+		t.Shed += s.Shed
+		t.Expired += s.Expired
+		if s.EstWaitMicros > t.MaxEstWaitMicros {
+			t.MaxEstWaitMicros = s.EstWaitMicros
+		}
 		t.Queued += s.Queued
 	}
 	return t
@@ -126,6 +170,7 @@ func (e EngineSnapshot) Totals() ShardTotals {
 type HTTPGroup struct {
 	Requests  Counter    // serving requests (predict/explain)
 	Errors    Counter    // serving requests answered with an error status
+	Throttled Counter    // serving requests refused by per-client quotas
 	Latency   *Histogram // serving-request latency in microseconds
 	Responses *ResponseCounters
 }
@@ -206,6 +251,7 @@ type Snapshot struct {
 
 	Requests  int64
 	Errors    int64
+	Throttled int64
 	Latency   HistogramSnapshot // microseconds
 	Responses []EndpointResponses
 

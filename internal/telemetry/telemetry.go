@@ -61,6 +61,45 @@ func (g *MaxGauge) Observe(v float64) {
 // Load returns the maximum observed so far (0 if none).
 func (g *MaxGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// ewmaAlpha weights each new observation of an EWMA. 0.2 reaches ~90% of a
+// step change in ~10 observations — fast enough to track a service-time
+// shift within one or two flushed batches, slow enough that a single
+// outlier batch cannot triple the admission controller's wait estimate.
+const ewmaAlpha = 0.2
+
+// EWMA is a lock-free exponentially weighted moving average over positive
+// float64 observations, maintained with the same uint64 compare-and-swap
+// trick as MaxGauge. The zero value is ready to use and reads 0, which
+// doubles as the "no samples yet" sentinel: consumers treat a 0 average as
+// "unknown" rather than "instant". Concurrent observations may each fold
+// into the same prior value; for a smoothing estimator that lost update is
+// harmless noise, and the trade buys a mutex-free hot path. Not copyable
+// once used.
+type EWMA struct{ bits atomic.Uint64 }
+
+// Observe folds v into the average. NaN, negative and zero observations are
+// dropped so the sentinel stays unambiguous.
+func (e *EWMA) Observe(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		cur := e.bits.Load()
+		avg := math.Float64frombits(cur)
+		if avg == 0 {
+			avg = v // first sample seeds the average directly
+		} else {
+			avg += ewmaAlpha * (v - avg)
+		}
+		if e.bits.CompareAndSwap(cur, math.Float64bits(avg)) {
+			return
+		}
+	}
+}
+
+// Load returns the current average (0 if nothing observed yet).
+func (e *EWMA) Load() float64 { return math.Float64frombits(e.bits.Load()) }
+
 var (
 	buildOnce    sync.Once
 	buildGo      string

@@ -22,7 +22,7 @@
 #   scripts/bench_record.sh -out scripts/bench_baseline.json
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 out="BENCH_serve.json"
 baseline=""
 tolerance=25

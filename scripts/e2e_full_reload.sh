@@ -10,7 +10,7 @@
 # Run from anywhere: ./scripts/e2e_full_reload.sh
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 work="$(mktemp -d)"
 bin="$work/prestroidd"
 addr="127.0.0.1:18102"
@@ -18,7 +18,9 @@ base="http://$addr"
 server_pid=""
 
 cleanup() {
-  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  if [[ -n "$server_pid" ]]; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
   rm -rf "$work"
 }
 trap cleanup EXIT
