@@ -4,8 +4,10 @@
 // HTTP.
 //
 //	prestroidd -train -bundle model.full                      # train & save full bundle
+//	prestroidd -train -bundle beta=model.full                 # train & stamp the bundle for model "beta"
 //	prestroidd -train -pipeline pipe.bin -weights model.bin   # train & save split bundles
 //	prestroidd -bundle model.full                             # load & serve
+//	prestroidd -bundle model.full -bundle beta=other.full     # serve two identities from one daemon
 //	prestroidd -pipeline pipe.bin -weights model.bin          # load & serve (split)
 //	prestroidd                                                # train in-memory & serve
 //
@@ -14,16 +16,26 @@
 // pipeline and weights in separate files and reconstructs the normaliser
 // from the deterministic training workload.
 //
-// Endpoints: POST /v1/predict {"sql": ...}, POST /v1/explain, GET /v1/stats
-// (JSON counters), GET /metrics (the same counters in Prometheus text
-// exposition format — both views render one telemetry snapshot, see the
-// README's observability section), GET /healthz, and the admin endpoint
-// POST /v1/reload, which hot-swaps a retrained bundle into the live
-// replicas without dropping traffic (guarded by -reload-token, or
-// loopback-only when unset): {"weights": path} rolls new weights into the
-// existing replicas, {"bundle": path} rolls a full bundle — including a
-// pipeline with a different feature-table universe — by swapping in fresh
-// replicas.
+// -bundle is repeatable and accepts an optional "name=path" form: each named
+// bundle becomes its own serving identity with its own shard set, generation
+// sequence and telemetry, addressed by the model field of /v1/predict. The
+// first -bundle is the default model (the one a model-less request routes
+// to); a bare path serves under the conventional name "default".
+//
+// Endpoints: POST /v1/predict {"sql": ..., "model": optional}, POST
+// /v1/explain, GET /v1/stats (JSON counters, with a per-model section), GET
+// /v1/models (every identity's roll state), GET /metrics (the same counters
+// in Prometheus text exposition format — both views render one telemetry
+// snapshot, see the README's observability section), GET /healthz, and the
+// admin endpoints POST /v1/reload and POST /v1/models/{name}/promote|abort
+// (guarded by -reload-token, or loopback-only when unset). /v1/reload
+// hot-swaps a retrained bundle into a model's live replicas without dropping
+// traffic: {"weights": path} rolls new weights into the existing replicas,
+// {"bundle": path} rolls a full bundle — including a pipeline with a
+// different feature-table universe — by swapping in fresh replicas, and
+// {"bundle": path, "mode": "shadow"} / {"mode": "canary", "percent": N}
+// stages the bundle next to the live engine instead, to be resolved by the
+// promote/abort actions (see the README Multi-model & deployments section).
 //
 // Inference runs through the sharded batched engine: -replicas sets how
 // many model replicas (each with its own batcher goroutine and cache
@@ -60,6 +72,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"regexp"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,12 +85,57 @@ import (
 	"prestroid/internal/workload"
 )
 
+// modelNameRE is the grammar of a serving identity name in a "name=path"
+// -bundle value; anything else before the first '=' is taken to be part of a
+// bare path (paths legitimately contain '=' on some filesystems).
+var modelNameRE = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+// bundleSpec is one parsed -bundle value: a full-bundle path and the
+// serving identity it loads into (empty = the default model).
+type bundleSpec struct {
+	name, path string
+}
+
+// bundleFlags collects repeated -bundle values in order; the first one is
+// the daemon's default serving identity.
+type bundleFlags struct {
+	specs []bundleSpec
+}
+
+func (b *bundleFlags) String() string {
+	parts := make([]string, len(b.specs))
+	for i, s := range b.specs {
+		if s.name != "" {
+			parts[i] = s.name + "=" + s.path
+		} else {
+			parts[i] = s.path
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *bundleFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -bundle value")
+	}
+	spec := bundleSpec{path: v}
+	if i := strings.IndexByte(v, '='); i > 0 && modelNameRE.MatchString(v[:i]) {
+		spec = bundleSpec{name: v[:i], path: v[i+1:]}
+		if spec.path == "" {
+			return fmt.Errorf("-bundle %s= names a model but no path", spec.name)
+		}
+	}
+	b.specs = append(b.specs, spec)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	doTrain := flag.Bool("train", false, "train and save instead of serving")
 	pipePath := flag.String("pipeline", "", "pipeline bundle path")
 	weightPath := flag.String("weights", "", "weight bundle path")
-	bundlePath := flag.String("bundle", "", "full bundle path (pipeline + normaliser + weights in one artefact)")
+	var bundles bundleFlags
+	flag.Var(&bundles, "bundle", "full bundle path (pipeline + normaliser + weights in one artefact); repeatable, optionally as name=path to serve several named identities — the first one is the default model")
 	queries := flag.Int("queries", 600, "synthetic training queries")
 	tables := flag.Int("tables", 0, "initial tables in the synthetic training catalog (0 = generator default); larger values grow the feature-table universe")
 	defaults := serve.DefaultConfig()
@@ -95,7 +154,7 @@ func main() {
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize,
 		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas,
 		MaxEstWait: *maxEstWait, Quantize: *quantize}
-	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, full: *bundlePath}
+	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, bundles: bundles.specs}
 	quota := quotaConfig{qps: *clientQPS, burst: *clientBurst}
 	if err := run(*addr, *doTrain, paths, *queries, *tables, cfg, *reloadToken, quota); err != nil {
 		log.Fatal("prestroidd: ", err)
@@ -108,10 +167,12 @@ type quotaConfig struct {
 	burst int
 }
 
-// bundlePaths names the on-disk artefacts of one trained predictor: either a
-// single full bundle, or the split pipeline + weights pair, or both.
+// bundlePaths names the on-disk artefacts the daemon trains into or serves
+// from: one or more full bundles (each an optional named serving identity),
+// or the split pipeline + weights pair.
 type bundlePaths struct {
-	pipe, weights, full string
+	pipe, weights string
+	bundles       []bundleSpec
 }
 
 // modelConfig is the fixed serving architecture; persisted weights must
@@ -125,34 +186,47 @@ func modelConfig() models.PrestroidConfig {
 }
 
 func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg serve.Config, reloadToken string, quota quotaConfig) error {
-	var pred *serve.Predictor
+	var preds []serve.NamedPredictor
 	switch {
 	case doTrain:
 		return trainAndSave(paths, queries, tables)
-	case paths.full != "" && (paths.pipe != "" || paths.weights != ""):
+	case len(paths.bundles) > 0 && (paths.pipe != "" || paths.weights != ""):
 		// Refuse rather than silently pick one artefact form over the other.
 		return fmt.Errorf("give either -bundle or the -pipeline/-weights pair, not both")
-	case paths.full != "":
-		p, err := loadBundlePredictor(paths.full)
-		if err != nil {
-			return err
+	case len(paths.bundles) > 0:
+		for _, spec := range paths.bundles {
+			p, embedded, err := loadBundlePredictor(spec.path)
+			if err != nil {
+				return fmt.Errorf("bundle %s: %w", spec.path, err)
+			}
+			// An explicit name=path wins; a bare path serves under the name
+			// baked into the bundle at train time (empty for old bundles,
+			// which NewMultiServer maps to the default name) — the same
+			// resolution order POST /v1/reload applies to a model-less roll.
+			name := spec.name
+			if name == "" {
+				name = embedded
+			}
+			preds = append(preds, serve.NamedPredictor{Name: name, Pred: p})
 		}
-		pred = p
 	case paths.pipe != "" && paths.weights != "":
 		p, err := loadPredictor(paths.pipe, paths.weights, queries, tables)
 		if err != nil {
 			return err
 		}
-		pred = p
+		preds = []serve.NamedPredictor{{Pred: p}}
 	default:
 		log.Printf("no bundle paths given; training a fresh model on %d synthetic queries", queries)
 		p, err := freshPredictor(queries, tables)
 		if err != nil {
 			return err
 		}
-		pred = p
+		preds = []serve.NamedPredictor{{Pred: p}}
 	}
-	srv := serve.NewServerConfig(pred, cfg)
+	srv, err := serve.NewMultiServer(cfg, preds...)
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	srv.SetReloadToken(reloadToken)
 	srv.SetClientQuota(quota.qps, quota.burst)
@@ -168,7 +242,14 @@ func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg 
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d, subtree cache %d)",
-		pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize)
+		preds[0].Pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize)
+	for i, en := range srv.Models().Entries() {
+		role := ""
+		if i == 0 {
+			role = " (default)"
+		}
+		log.Printf("model %s%s: generation %d, %d shards, kernel %s", en.Name(), role, en.Live().Generation(), en.Live().Shards(), en.Live().Kernel())
+	}
 	if cfg.MaxEstWait > 0 {
 		log.Printf("admission control: shedding past %s estimated wait", cfg.MaxEstWait)
 	}
@@ -227,8 +308,13 @@ func buildTraining(queries, tables int) (*models.Pipeline, *models.Prestroid, wo
 
 func trainAndSave(paths bundlePaths, queries, tables int) error {
 	split := paths.pipe != "" && paths.weights != ""
-	if paths.full == "" && !split {
+	if len(paths.bundles) == 0 && !split {
 		return fmt.Errorf("-train requires -bundle, or both -pipeline and -weights, as output paths")
+	}
+	if len(paths.bundles) > 1 {
+		// One training run produces one artefact; a second -bundle is almost
+		// certainly a serve-mode invocation missing the drop of -train.
+		return fmt.Errorf("-train takes at most one -bundle output")
 	}
 	if !split && (paths.pipe != "" || paths.weights != "") {
 		// A lone half of the split pair would be silently dropped otherwise.
@@ -238,17 +324,24 @@ func trainAndSave(paths bundlePaths, queries, tables int) error {
 	if err != nil {
 		return err
 	}
-	if paths.full != "" {
-		bf, err := os.Create(paths.full)
+	if len(paths.bundles) == 1 {
+		spec := paths.bundles[0]
+		bf, err := os.Create(spec.path)
 		if err != nil {
 			return err
 		}
 		defer bf.Close()
-		if err := persist.SaveFullBundle(bf, pipe, norm, m); err != nil {
+		// A named output stamps the identity into the bundle, so reloading it
+		// without a model field routes to that identity.
+		if err := persist.SaveFullBundleNamed(bf, pipe, norm, m, spec.name); err != nil {
 			return err
 		}
-		log.Printf("saved full bundle to %s (normaliser: logmin=%.4f logmax=%.4f)",
-			paths.full, norm.LogMin, norm.LogMax)
+		target := "the default model"
+		if spec.name != "" {
+			target = "model " + spec.name
+		}
+		log.Printf("saved full bundle for %s to %s (normaliser: logmin=%.4f logmax=%.4f)",
+			target, spec.path, norm.LogMin, norm.LogMax)
 	}
 	if !split {
 		return nil
@@ -280,21 +373,21 @@ func trainAndSave(paths bundlePaths, queries, tables int) error {
 // weight section is shape-validated against the model built off that
 // pipeline, and the normaliser ships in the bundle instead of being
 // re-derived from the training workload.
-func loadBundlePredictor(path string) (*serve.Predictor, error) {
+func loadBundlePredictor(path string) (*serve.Predictor, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
 	fb, err := persist.DecodeFullBundle(f)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	m := models.NewPrestroid(modelConfig(), fb.Pipeline())
 	if err := fb.Weights().Apply(m); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return &serve.Predictor{Model: m, Pipe: fb.Pipeline(), Norm: fb.Norm()}, nil
+	return &serve.Predictor{Model: m, Pipe: fb.Pipeline(), Norm: fb.Norm()}, fb.Name(), nil
 }
 
 func loadPredictor(pipePath, weightPath string, queries, tables int) (*serve.Predictor, error) {

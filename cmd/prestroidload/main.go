@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"prestroid/internal/api"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 	reqTimeout := flag.String("request-timeout", "", "value for the Request-Timeout header on every request (empty = no deadline)")
 	bearer := flag.String("bearer", "", "bearer token for the Authorization header (empty = none; quotas then key on client IP)")
 	joins := flag.Int("joins", 2, "JOIN clauses per generated query; more joins = larger plans = longer service time")
+	model := flag.String("model", "", "serving identity to target on every request (empty = the daemon's default model)")
 	out := flag.String("out", "", "path for the JSON summary (empty = stdout)")
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 		reqTimeout: *reqTimeout,
 		bearer:     *bearer,
 		joins:      *joins,
+		model:      *model,
 		inflight:   make(chan struct{}, *maxInflight),
 		byStatus:   make(map[int]*statusBucket),
 		client: &http.Client{
@@ -89,6 +93,7 @@ type loadgen struct {
 	reqTimeout string
 	bearer     string
 	joins      int
+	model      string
 	client     *http.Client
 	inflight   chan struct{}
 
@@ -217,7 +222,7 @@ func (g *loadgen) query(seq int) []byte {
 		fmt.Fprintf(&b, " JOIN t%d ON t%d.id = t%d.id", j, j-1, j)
 	}
 	fmt.Fprintf(&b, " WHERE t0.a > %d AND t0.b < %d", seq, seq+7)
-	body, _ := json.Marshal(map[string]string{"sql": b.String()})
+	body, _ := json.Marshal(api.PredictRequest{SQL: b.String(), Model: g.model})
 	return body
 }
 

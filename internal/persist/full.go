@@ -23,6 +23,12 @@ type fullBundle struct {
 	Norm       workload.Normalizer
 	Pipeline   pipelineBundle
 	Weights    weightBundle
+	// ModelName optionally records the serving identity this bundle targets
+	// in a multi-model daemon; a reload whose request names no model falls
+	// back to it. gob tolerates it missing, so bundles written before the
+	// field existed decode with an empty name (→ the default identity) and
+	// old readers skip it.
+	ModelName string
 }
 
 // SaveFullBundle writes the complete (pipeline, normaliser, weights) triple
@@ -30,12 +36,20 @@ type fullBundle struct {
 // SaveWeights produce standalone, plus the pipeline's feature dimension and
 // the normaliser fit on the training labels.
 func SaveFullBundle(w io.Writer, p *models.Pipeline, norm workload.Normalizer, m WeightStore) error {
+	return SaveFullBundleNamed(w, p, norm, m, "")
+}
+
+// SaveFullBundleNamed is SaveFullBundle with the target serving identity
+// stamped into the bundle, so operators can ship per-model artefacts that
+// route themselves without a model field on the reload request.
+func SaveFullBundleNamed(w io.Writer, p *models.Pipeline, norm workload.Normalizer, m WeightStore, name string) error {
 	b := fullBundle{
 		Version:    formatVersion,
 		FeatureDim: p.Enc.FeatureDim(),
 		Norm:       norm,
 		Pipeline:   newPipelineBundle(p),
 		Weights:    newWeightBundle(m),
+		ModelName:  name,
 	}
 	return gob.NewEncoder(w).Encode(&b)
 }
@@ -50,6 +64,7 @@ type FullBundle struct {
 	pipe    *models.Pipeline
 	norm    workload.Normalizer
 	weights Bundle
+	name    string
 }
 
 // DecodeFullBundle reads and validates a full bundle from r without applying
@@ -78,8 +93,13 @@ func DecodeFullBundle(r io.Reader) (*FullBundle, error) {
 	if b.Weights.Version != formatVersion {
 		return nil, fmt.Errorf("persist: unsupported weight-section version %d", b.Weights.Version)
 	}
-	return &FullBundle{pipe: pipe, norm: b.Norm, weights: Bundle{b: b.Weights}}, nil
+	return &FullBundle{pipe: pipe, norm: b.Norm, weights: Bundle{b: b.Weights}, name: b.ModelName}, nil
 }
+
+// Name returns the serving identity stamped into the bundle at save time,
+// empty for unnamed bundles (including every bundle written before the
+// field existed), which target the daemon's default model.
+func (fb *FullBundle) Name() string { return fb.name }
 
 // Pipeline returns the reconstructed feature pipeline. It encodes queries
 // identically to the pipeline that was saved; its Word2Vec model is frozen.

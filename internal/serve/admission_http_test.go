@@ -75,7 +75,7 @@ func TestQuotaThrottleHTTP(t *testing.T) {
 	}
 	// The throttled request never reached a shard: only the two admitted
 	// requests show up as cache traffic.
-	if tot := snap.Engine.Totals(); tot.CacheHits+tot.CacheMisses != 2 {
+	if tot := snap.Default().Engine.Totals(); tot.CacheHits+tot.CacheMisses != 2 {
 		t.Fatalf("shard cache lookups = %d, want 2 (429 must not occupy a model slot)",
 			tot.CacheHits+tot.CacheMisses)
 	}
@@ -100,7 +100,7 @@ func TestDeadlineExpired504HTTP(t *testing.T) {
 	if classes := predictClasses(t, srv); classes[4] != 1 {
 		t.Fatalf("predict classes = %v, want one 5xx", classes)
 	}
-	tot := snap.Engine.Totals()
+	tot := snap.Default().Engine.Totals()
 	if tot.Expired != 1 {
 		t.Fatalf("shard expired = %d, want 1", tot.Expired)
 	}
@@ -137,7 +137,7 @@ func TestDeadlineHeadersHTTP(t *testing.T) {
 			t.Errorf("%s: got %d, want %d (body %s)", tc.name, w.Code, tc.want, w.Body)
 		}
 	}
-	tot := srv.Snapshot().Engine.Totals()
+	tot := srv.Snapshot().Default().Engine.Totals()
 	if tot.Expired != 0 || tot.Shed != 0 {
 		t.Fatalf("expired/shed = %d/%d after header validation failures, want 0/0", tot.Expired, tot.Shed)
 	}

@@ -169,6 +169,14 @@ func (e *Engine) applyQuantization(m models.Quantizer) {
 // NewEngine starts the batcher goroutine. Callers must Close the engine to
 // release it.
 func NewEngine(pred *Predictor, cfg Config) *Engine {
+	return newEngineAt(pred, cfg, initialGeneration)
+}
+
+// newEngineAt is NewEngine with an explicit starting generation: a staged
+// shadow/canary engine is born at the generation its bundle will carry once
+// promoted, so the generation a client observes for a key never moves
+// backwards across a promotion.
+func newEngineAt(pred *Predictor, cfg Config, gen int64) *Engine {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1
 	}
@@ -182,14 +190,14 @@ func NewEngine(pred *Predictor, cfg Config) *Engine {
 		quit: make(chan struct{}),
 		tel:  telemetry.NewShardGroup(),
 	}
-	e.weightGen.Store(initialGeneration)
+	e.weightGen.Store(gen)
 	if cfg.CacheSize > 0 {
-		e.cache = newPredictionCache(cfg.CacheSize, initialGeneration,
+		e.cache = newPredictionCache(cfg.CacheSize, gen,
 			&e.tel.CacheHits, &e.tel.CacheMisses)
 	}
 	if cfg.SubtreeCacheSize > 0 {
 		if cs, ok := pred.Model.(convCacheSetter); ok {
-			e.convCache = newSubtreeCache(cfg.SubtreeCacheSize, initialGeneration,
+			e.convCache = newSubtreeCache(cfg.SubtreeCacheSize, gen,
 				&e.tel.SubtreeHits, &e.tel.SubtreeMisses)
 			cs.SetConvCache(e.convCache)
 		}

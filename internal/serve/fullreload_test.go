@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"prestroid/internal/api"
 	"prestroid/internal/models"
 	"prestroid/internal/otp"
 	"prestroid/internal/persist"
@@ -244,19 +245,19 @@ func TestFullReloadEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("full reload = %d: %s", w.Code, w.Body)
 	}
-	var rr reloadResponse
+	var rr api.ReloadResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Generation != 2 || rr.Mode != "bundle" || rr.Shards != srv.eng.Shards() {
-		t.Fatalf("reload response %+v, want generation 2, mode bundle, %d shards", rr, srv.eng.Shards())
+	if rr.Generation != 2 || rr.Mode != "bundle" || rr.Shards != srv.Engine().Shards() {
+		t.Fatalf("reload response %+v, want generation 2, mode bundle, %d shards", rr, srv.Engine().Shards())
 	}
 
 	pw := post(t, srv, "/v1/predict", fmt.Sprintf(`{"sql":%q}`, sql))
 	if pw.Code != http.StatusOK {
 		t.Fatalf("predict after full reload = %d: %s", pw.Code, pw.Body)
 	}
-	var pr predictResponse
+	var pr api.PredictResponse
 	if err := json.Unmarshal(pw.Body.Bytes(), &pr); err != nil {
 		t.Fatal(err)
 	}
@@ -374,8 +375,8 @@ func TestInterleavedReloadConflictHTTP(t *testing.T) {
 	if err := os.WriteFile(path, []byte("irrelevant"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv.eng.reloadMu.Lock()
-	defer srv.eng.reloadMu.Unlock()
+	srv.Engine().reloadMu.Lock()
+	defer srv.Engine().reloadMu.Unlock()
 	if w := reloadHTTP(t, srv, fmt.Sprintf(`{"weights":%q}`, path), "127.0.0.1:1000", ""); w.Code != http.StatusConflict {
 		t.Fatalf("weight reload during a roll = %d, want 409", w.Code)
 	}

@@ -141,7 +141,7 @@ func TestQuantizedStatsAndMetrics(t *testing.T) {
 	srv.ServeHTTP(w, req)
 	body := w.Body.String()
 	for sh := 0; sh < 2; sh++ {
-		if got := metricValue(t, body, fmt.Sprintf(`prestroid_shard_quantized{shard="%d"}`, sh)); got != 1 {
+		if got := metricValue(t, body, fmt.Sprintf(`prestroid_shard_quantized{model="default",shard="%d"}`, sh)); got != 1 {
 			t.Fatalf("shard %d quantized gauge = %v, want 1", sh, got)
 		}
 	}

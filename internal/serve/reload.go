@@ -232,7 +232,16 @@ func (se *ShardedEngine) ReloadBundle(r io.Reader) (int64, error) {
 	return se.countRejected(se.reloadFullBundle(r))
 }
 
+// ReloadBundleDecoded is ReloadBundle for a bundle the caller already
+// decoded — the multi-model registry decodes once to read the bundle's
+// embedded model name before resolving which identity the roll targets.
+func (se *ShardedEngine) ReloadBundleDecoded(fb *persist.FullBundle) (int64, error) {
+	return se.countRejected(se.rollFullBundle(fb))
+}
+
 func (se *ShardedEngine) reloadFullBundle(r io.Reader) (int64, error) {
+	// The lock comes before the decode: a roll already in flight must answer
+	// ErrReloadInProgress, not whatever the decoder thinks of the stream.
 	if !se.reloadMu.TryLock() {
 		return 0, ErrReloadInProgress
 	}
@@ -241,25 +250,68 @@ func (se *ShardedEngine) reloadFullBundle(r io.Reader) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return se.rollFullBundleLocked(fb)
+}
+
+// buildStagingLocked builds and shape-validates a fresh model off a decoded
+// full bundle, using shard 0's live model as the architecture base. Nothing
+// in the serving path is touched: a bad bundle fails here with zero impact.
+// Callers must hold reloadMu — the base model pointer is only stable under
+// the roll lock.
+func (se *ShardedEngine) buildStagingLocked(fb *persist.FullBundle) (models.Model, error) {
 	base := se.shards[0].pred.Model
 	rb, ok := base.(models.PipelineRebuilder)
 	if !ok {
-		return 0, fmt.Errorf("serve: %T cannot rebuild off a new pipeline; use a weight-only reload", base)
+		return nil, fmt.Errorf("serve: %T cannot rebuild off a new pipeline; use a weight-only reload", base)
 	}
-	pipe := fb.Pipeline()
-	staging, err := rb.RebuildWithPipeline(pipe)
+	staging, err := rb.RebuildWithPipeline(fb.Pipeline())
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	ws, ok := staging.(persist.WeightStore)
 	if !ok {
-		return 0, fmt.Errorf("serve: %T does not expose weights; cannot stage a full reload", staging)
+		return nil, fmt.Errorf("serve: %T does not expose weights; cannot stage a full reload", staging)
 	}
 	// Apply validates the bundle's weight tensors against the staging model
 	// built off the bundle's own pipeline: a triple whose weights were
 	// trained against a different feature dimension fails here, before the
 	// serving path is touched.
 	if err := fb.Weights().Apply(ws); err != nil {
+		return nil, err
+	}
+	return staging, nil
+}
+
+// stagePredictor builds a validated predictor off a decoded full bundle
+// without touching this engine's shards — the seed replica for the staged
+// engine of a shadow or canary roll. A validation failure counts on this
+// engine's rejected-bundle surface, exactly like an in-place reload refused
+// before any replica was touched.
+func (se *ShardedEngine) stagePredictor(fb *persist.FullBundle) (*Predictor, error) {
+	if !se.reloadMu.TryLock() {
+		return nil, ErrReloadInProgress
+	}
+	defer se.reloadMu.Unlock()
+	staging, err := se.buildStagingLocked(fb)
+	if err != nil {
+		se.rejected.Inc()
+		return nil, err
+	}
+	return &Predictor{Model: staging, Pipe: fb.Pipeline(), Norm: fb.Norm()}, nil
+}
+
+func (se *ShardedEngine) rollFullBundle(fb *persist.FullBundle) (int64, error) {
+	if !se.reloadMu.TryLock() {
+		return 0, ErrReloadInProgress
+	}
+	defer se.reloadMu.Unlock()
+	return se.rollFullBundleLocked(fb)
+}
+
+func (se *ShardedEngine) rollFullBundleLocked(fb *persist.FullBundle) (int64, error) {
+	pipe := fb.Pipeline()
+	staging, err := se.buildStagingLocked(fb)
+	if err != nil {
 		return 0, err
 	}
 	// Build every shard's replica up front so the roll below cannot fail

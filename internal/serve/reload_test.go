@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"prestroid/internal/api"
 	"prestroid/internal/models"
 	"prestroid/internal/nn"
 	"prestroid/internal/persist"
@@ -374,19 +375,19 @@ func TestReloadEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("reload = %d: %s", w.Code, w.Body)
 	}
-	var rr reloadResponse
+	var rr api.ReloadResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Generation != 2 || rr.Shards != srv.eng.Shards() {
-		t.Fatalf("reload response %+v, want generation 2 over %d shards", rr, srv.eng.Shards())
+	if rr.Generation != 2 || rr.Shards != srv.Engine().Shards() {
+		t.Fatalf("reload response %+v, want generation 2 over %d shards", rr, srv.Engine().Shards())
 	}
 
 	pw := post(t, srv, "/v1/predict", fmt.Sprintf(`{"sql":%q}`, sql))
 	if pw.Code != http.StatusOK {
 		t.Fatalf("predict after reload = %d: %s", pw.Code, pw.Body)
 	}
-	var pr predictResponse
+	var pr api.PredictResponse
 	if err := json.Unmarshal(pw.Body.Bytes(), &pr); err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,13 @@
 // production path: a dispatcher hashes canonical SQL across N such shards,
 // each owning its own model replica, so predict throughput scales with
 // cores instead of being capped at single-replica speed.
+//
+// Above the engines sits the model registry (see registry.go): one daemon
+// hosts several named predictor identities, each with its own shard set,
+// generation sequence and roll slot, routed by the model field of
+// /v1/predict. A request without a model field routes to the default
+// identity, byte-identical to a single-model daemon. The wire types live in
+// internal/api.
 package serve
 
 import (
@@ -20,7 +27,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,8 +37,10 @@ import (
 	"sync"
 	"time"
 
+	"prestroid/internal/api"
 	"prestroid/internal/logicalplan"
 	"prestroid/internal/models"
+	"prestroid/internal/persist"
 	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
@@ -59,14 +67,16 @@ type evicter interface {
 	Evict(traces []*workload.Trace)
 }
 
-// Prediction is the costing result for one query.
-type Prediction struct {
-	CPUMinutes float64 `json:"cpu_minutes"`
-	Normalized float64 `json:"normalized"`
-	PlanNodes  int     `json:"plan_nodes"`
-	PlanDepth  int     `json:"plan_depth"`
-	Tables     int     `json:"tables"`
-}
+// Prediction is the costing result for one query; the wire shape lives in
+// internal/api, aliased here so the engine layers keep their historical
+// names.
+type Prediction = api.Prediction
+
+// Stats and ShardStats are the /v1/stats wire shapes (see internal/api).
+type (
+	Stats      = api.Stats
+	ShardStats = api.ShardStats
+)
 
 // PredictSQL parses, plans, encodes and costs a single query on the
 // serialised path. It exists as the correctness reference and fallback; the
@@ -119,105 +129,6 @@ func (p *Predictor) predictTraceLocked(tr *workload.Trace) float64 {
 	return y
 }
 
-// Stats is the /v1/stats JSON view. It is a pure rendering of one
-// telemetry.Snapshot — the same snapshot the Prometheus /metrics exposition
-// renders — so the two surfaces can never disagree on a counter. The
-// percentiles are derived from the lock-free latency histogram's buckets
-// (linear interpolation within a bucket) instead of an exact sample ring;
-// see telemetry.HistogramSnapshot.Quantile for the accuracy contract.
-type Stats struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	GoVersion     string  `json:"go_version"`
-	Version       string  `json:"version"`
-	Goroutines    int     `json:"go_goroutines"`
-
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	Throttled   int64   `json:"throttled"`
-	TotalMillis int64   `json:"total_millis"`
-	AvgMillis   float64 `json:"avg_millis"`
-	P50Millis   float64 `json:"p50_millis"`
-	P95Millis   float64 `json:"p95_millis"`
-	P99Millis   float64 `json:"p99_millis"`
-
-	Batches      int64            `json:"batches"`
-	AvgBatchSize float64          `json:"avg_batch_size"`
-	BatchHist    map[string]int64 `json:"batch_hist"`
-
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheEntries int     `json:"cache_entries"`
-
-	// The subtree_cache_* block covers the per-shard sub-tree convolution
-	// caches: hits are pooled conv outputs served without a forward pass,
-	// misses are sub-tree convolutions actually computed. Entries and bytes
-	// are sampled gauges summed across shards.
-	SubtreeHits    int64   `json:"subtree_cache_hits"`
-	SubtreeMisses  int64   `json:"subtree_cache_misses"`
-	SubtreeHitRate float64 `json:"subtree_cache_hit_rate"`
-	SubtreeEntries int     `json:"subtree_cache_entries"`
-	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
-
-	// Shed counts queries refused by bounded-wait admission (429), Expired
-	// counts queries dropped because their deadline passed (504), and
-	// MaxEstWaitMillis is the worst per-shard wait estimate at snapshot time
-	// — the number to compare against -max-est-wait, since admission sheds
-	// on the best candidate shard, not a fleet average.
-	Shed             int64   `json:"shed"`
-	Expired          int64   `json:"expired"`
-	MaxEstWaitMillis float64 `json:"max_est_wait_millis"`
-
-	// WeightGeneration is the generation of the last reload — weight-only or
-	// full-bundle — that completed on every shard; the counter covers the
-	// full predictor identity (pipeline, normaliser, weights). Reloads
-	// counts completed rolls of either kind. During a roll, per-shard
-	// generations briefly run one ahead of the aggregate.
-	WeightGeneration int64 `json:"weight_generation"`
-	Reloads          int64 `json:"reloads"`
-	RejectedReloads  int64 `json:"rejected_reloads"`
-
-	Replicas int          `json:"replicas"`
-	Shards   []ShardStats `json:"shards"`
-
-	ModelName string `json:"model"`
-	Params    int    `json:"parameters"`
-
-	// Kernel is the serving kernel mode ("float" or "int8");
-	// QuantMaxError is the worst absolute quantisation error any shard has
-	// observed (0 in float mode).
-	Kernel        string  `json:"kernel"`
-	QuantMaxError float64 `json:"quant_max_error"`
-}
-
-// ShardStats is the per-shard slice of /v1/stats: each entry reports one
-// shard's batch and cache counters plus its queue depth at snapshot time,
-// so operators can see skew across the dispatcher's hash space.
-type ShardStats struct {
-	Shard          int     `json:"shard"`
-	Batches        int64   `json:"batches"`
-	Coalesced      int64   `json:"coalesced"`
-	AvgBatchSize   float64 `json:"avg_batch_size"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEntries   int     `json:"cache_entries"`
-	SubtreeHits    int64   `json:"subtree_cache_hits"`
-	SubtreeMisses  int64   `json:"subtree_cache_misses"`
-	SubtreeEntries int     `json:"subtree_cache_entries"`
-	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
-	Shed           int64   `json:"shed"`
-	Expired        int64   `json:"expired"`
-	// ServiceTimeMillis is the EWMA per-query drain time of the shard's
-	// batcher; EstWaitMillis is queue depth × that EWMA — the admission
-	// controller's live signal, sampled at snapshot time.
-	ServiceTimeMillis float64 `json:"service_time_millis"`
-	EstWaitMillis     float64 `json:"est_wait_millis"`
-	Queued            int     `json:"queued"`
-	Generation        int64   `json:"generation"`
-	Quantized         bool    `json:"quantized"`
-	QuantMaxError     float64 `json:"quant_max_error"`
-}
-
 // endpoints is the server's fixed route table, which doubles as the label
 // universe of the per-endpoint response-class counters.
 var endpoints = []string{
@@ -225,24 +136,26 @@ var endpoints = []string{
 	"/v1/predict",
 	"/v1/explain",
 	"/v1/stats",
+	"/v1/models",
+	"/v1/models/", // subtree pattern: per-model promote/abort actions
 	"/v1/reload",
 	"/metrics",
 	"/debug/pprof/", // subtree pattern: every profile subpath lands here
 }
 
-// Server is the HTTP front end over the sharded inference engine. It holds
-// no predictor of its own — the serving identity lives in the engine's
-// shards and is resolved per request (see ModelInfo), since a full-bundle
-// reload can replace it wholesale. All instrumentation is atomic (see
-// internal/telemetry): the request hot path acquires no mutex to observe a
-// latency or bump a counter.
+// Server is the HTTP front end over the model registry. It holds no
+// predictor of its own — each serving identity lives in its registry
+// entry's engine shards and is resolved per request, since a full-bundle
+// reload or a promotion can replace it wholesale. All instrumentation is
+// atomic (see internal/telemetry): the request hot path acquires no mutex to
+// observe a latency or bump a counter.
 type Server struct {
-	eng *ShardedEngine
+	reg *Registry
 	mux *http.ServeMux
 
 	// reloadToken, when non-empty, is the bearer token required on the admin
-	// surfaces (POST /v1/reload and /debug/pprof/); when empty, they are
-	// restricted to loopback peers.
+	// surfaces (POST /v1/reload, POST /v1/models/{name}/..., /debug/pprof/);
+	// when empty, they are restricted to loopback peers.
 	reloadToken string
 
 	// quota, when non-nil, rate-limits the serving endpoints per client
@@ -259,24 +172,68 @@ func NewServer(pred *Predictor) *Server {
 	return NewServerConfig(pred, DefaultConfig())
 }
 
-// NewServerConfig wires the routes over an engine tuned by cfg. When
-// cfg.Replicas > 1 and the model supports cloning, inference is sharded
-// across that many model replicas; otherwise it runs single-shard.
+// NewServerConfig wires the routes over a registry tuned by cfg, with pred
+// registered as the default model. When cfg.Replicas > 1 and the model
+// supports cloning, each identity's inference is sharded across that many
+// model replicas; otherwise it runs single-shard. Register further
+// identities with AddModel before serving traffic.
 func NewServerConfig(pred *Predictor, cfg Config) *Server {
+	s, err := NewMultiServer(cfg, NamedPredictor{Name: api.DefaultModel, Pred: pred})
+	if err != nil {
+		panic(err) // unreachable: one identity cannot collide
+	}
+	return s
+}
+
+// NamedPredictor pairs a serving identity name with its predictor for
+// NewMultiServer.
+type NamedPredictor struct {
+	Name string
+	Pred *Predictor
+}
+
+// NewMultiServer wires the routes over a registry hosting several named
+// serving identities at once. The first entry is the default model — the one
+// a request without a model field routes to — and an empty name selects the
+// conventional default name. Duplicate names are refused.
+func NewMultiServer(cfg Config, preds ...NamedPredictor) (*Server, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("serve: NewMultiServer needs at least one predictor")
+	}
 	s := &Server{
-		eng:     NewShardedEngine(Replicas(pred, cfg.Replicas), cfg),
+		reg:     NewRegistry(cfg),
 		mux:     http.NewServeMux(),
 		tel:     telemetry.NewHTTPGroup(endpoints...),
 		started: time.Now(),
+	}
+	for _, np := range preds {
+		name := np.Name
+		if name == "" {
+			name = api.DefaultModel
+		}
+		if _, err := s.reg.Add(name, np.Pred); err != nil {
+			s.reg.Close()
+			return nil, err
+		}
 	}
 	s.handle("/healthz", s.handleHealth)
 	s.handle("/v1/predict", s.handlePredict)
 	s.handle("/v1/explain", s.handleExplain)
 	s.handle("/v1/stats", s.handleStats)
+	s.handle("/v1/models", s.handleModels)
+	s.handle("/v1/models/", s.handleModelAction)
 	s.handle("/v1/reload", s.handleReload)
 	s.handle("/metrics", s.handleMetrics)
 	s.handle("/debug/pprof/", s.handlePprof)
-	return s
+	return s, nil
+}
+
+// AddModel registers a further named serving identity next to the default
+// one, with its own shard set, generation sequence and roll slot. Call
+// before serving traffic; duplicate names are refused.
+func (s *Server) AddModel(name string, pred *Predictor) error {
+	_, err := s.reg.Add(name, pred)
+	return err
 }
 
 // handle registers a route wrapped with response-class accounting: every
@@ -312,10 +269,10 @@ func (w *statusWriter) Status() int {
 	return w.status
 }
 
-// SetReloadToken guards the admin surfaces — POST /v1/reload and the
-// /debug/pprof/ profiles — with a bearer token; callers from any peer
-// address may use them with the token. With no token set (the default), they
-// are only accepted from loopback addresses.
+// SetReloadToken guards the admin surfaces — POST /v1/reload, the per-model
+// promote/abort actions and the /debug/pprof/ profiles — with a bearer
+// token; callers from any peer address may use them with the token. With no
+// token set (the default), they are only accepted from loopback addresses.
 func (s *Server) SetReloadToken(token string) { s.reloadToken = token }
 
 // SetClientQuota enables per-client token-bucket quotas on the serving
@@ -327,24 +284,20 @@ func (s *Server) SetClientQuota(qps float64, burst int) {
 	s.quota = newClientQuota(qps, burst)
 }
 
-// Engine exposes the underlying sharded dispatcher, e.g. for benchmarks.
-func (s *Server) Engine() *ShardedEngine { return s.eng }
+// Engine exposes the default model's sharded dispatcher, e.g. for
+// benchmarks; Models exposes the full registry.
+func (s *Server) Engine() *ShardedEngine { return s.reg.Default().Live() }
 
-// Close stops every shard's batcher goroutine, flushing queued work first.
-func (s *Server) Close() { s.eng.Close() }
+// Models exposes the model registry, e.g. for tests driving rolls directly.
+func (s *Server) Models() *Registry { return s.reg }
+
+// Close stops every identity's engines (live and staged), flushing queued
+// work first.
+func (s *Server) Close() { s.reg.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
-}
-
-// predictRequest is the JSON body of /v1/predict and /v1/explain.
-type predictRequest struct {
-	SQL string `json:"sql"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 // requireGET guards the read-only endpoints: anything but GET or HEAD is
@@ -357,7 +310,7 @@ func requireGET(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	w.Header().Set("Allow", "GET, HEAD")
-	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed: use GET"})
+	writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "method not allowed: use GET")
 	return false
 }
 
@@ -376,7 +329,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 const maxBodyBytes = 1 << 20
 
 // maxReloadBodyBytes caps the /v1/reload control body, which only ever
-// carries a file path.
+// carries file paths and roll parameters.
 const maxReloadBodyBytes = 4 << 10
 
 // decodeJSONBody decodes a bounded JSON request body into v, mapping an
@@ -394,21 +347,42 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) 
 	return 0, nil
 }
 
-// decodeSQL extracts the query from a request body, returning the HTTP
-// status to use on failure.
-func decodeSQL(w http.ResponseWriter, r *http.Request) (string, int, error) {
+// codeForStatus maps a transport-level failure status to its envelope code —
+// used where the status was decided first (body decoding, method guards).
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return api.CodeBadRequest
+	case http.StatusMethodNotAllowed:
+		return api.CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return api.CodeBodyTooLarge
+	case http.StatusUnprocessableEntity:
+		return api.CodeUnprocessable
+	case http.StatusUnauthorized:
+		return api.CodeUnauthorized
+	case http.StatusForbidden:
+		return api.CodeForbidden
+	default:
+		return api.CodeInternal
+	}
+}
+
+// decodePredict extracts the query (and optional model selector) from a
+// request body, returning the HTTP status to use on failure.
+func decodePredict(w http.ResponseWriter, r *http.Request) (api.PredictRequest, int, error) {
+	var req api.PredictRequest
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		return "", http.StatusMethodNotAllowed, errors.New("method not allowed: use POST")
+		return req, http.StatusMethodNotAllowed, errors.New("method not allowed: use POST")
 	}
-	var req predictRequest
 	if code, err := decodeJSONBody(w, r, maxBodyBytes, &req); err != nil {
-		return "", code, err
+		return req, code, err
 	}
 	if req.SQL == "" {
-		return "", http.StatusBadRequest, errors.New("missing field: sql")
+		return req, http.StatusBadRequest, errors.New("missing field: sql")
 	}
-	return req.SQL, 0, nil
+	return req, 0, nil
 }
 
 // requestDeadline derives the per-request context from the deadline
@@ -483,7 +457,8 @@ func (s *Server) throttle(w http.ResponseWriter, r *http.Request) bool {
 	}
 	s.tel.Throttled.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
-	s.fail(w, http.StatusTooManyRequests, fmt.Errorf("client quota exceeded, retry in %s", retry))
+	s.failRetry(w, http.StatusTooManyRequests, api.CodeThrottled,
+		fmt.Errorf("client quota exceeded, retry in %s", retry), retry.Milliseconds())
 	return true
 }
 
@@ -497,14 +472,17 @@ func (s *Server) observe(start time.Time) {
 	s.tel.Latency.Observe(time.Since(start).Microseconds())
 }
 
-// predictResponse is a Prediction plus the weight generation and the serving
-// kernel mode that produced it, so clients of a continuously retrained
-// service can tell which bundle answered — and whether the figure is exact
-// (float) or carries the quantised path's bounded error (int8).
-type predictResponse struct {
-	Prediction
-	Generation int64  `json:"generation"`
-	Kernel     string `json:"kernel"`
+// resolveModel maps a request's model field to its registry entry, writing
+// the 404 itself when the name is unknown. An empty name selects the default
+// identity.
+func (s *Server) resolveModel(w http.ResponseWriter, name string) *ModelEntry {
+	en := s.reg.Lookup(name)
+	if en == nil {
+		s.tel.Errors.Inc()
+		writeError(w, http.StatusNotFound, api.CodeUnknownModel,
+			fmt.Sprintf("unknown model %q", name))
+	}
+	return en
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -516,23 +494,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, err := requestDeadline(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
 	if cancel != nil {
 		defer cancel()
 	}
-	sql, code, err := decodeSQL(w, r)
+	req, code, err := decodePredict(w, r)
 	if err != nil {
-		s.fail(w, code, err)
+		s.fail(w, code, codeForStatus(code), err)
 		return
 	}
-	pred, gen, err := s.eng.PredictSQLGenCtx(ctx, sql)
+	en := s.resolveModel(w, req.Model)
+	if en == nil {
+		return
+	}
+	pred, gen, kernel, err := en.PredictSQLGenCtx(ctx, req.SQL)
 	if err != nil {
 		s.failPredict(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Generation: gen, Kernel: s.eng.Kernel()})
+	// Model echoes the identity only when the request named one, keeping
+	// model-less responses byte-identical to the single-model daemon.
+	writeJSON(w, http.StatusOK, api.PredictResponse{
+		Prediction: pred, Generation: gen, Kernel: kernel, Model: req.Model})
 }
 
 // failPredict maps an engine error onto its status: 429 + Retry-After for a
@@ -545,22 +530,14 @@ func (s *Server) failPredict(w http.ResponseWriter, err error) {
 	var expired *ExpiredError
 	switch {
 	case errors.As(err, &over):
-		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter()/time.Second)))
-		s.fail(w, http.StatusTooManyRequests, err)
+		retry := over.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		s.failRetry(w, http.StatusTooManyRequests, api.CodeOverloaded, err, retry.Milliseconds())
 	case errors.As(err, &expired):
-		s.fail(w, http.StatusGatewayTimeout, err)
+		s.fail(w, http.StatusGatewayTimeout, api.CodeDeadlineExpired, err)
 	default:
-		s.fail(w, http.StatusUnprocessableEntity, err)
+		s.fail(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, err)
 	}
-}
-
-// explainResponse carries the plan views of /v1/explain.
-type explainResponse struct {
-	Plan      string   `json:"plan"`
-	PlanNodes int      `json:"plan_nodes"`
-	PlanDepth int      `json:"plan_depth"`
-	Tables    []string `json:"tables"`
-	Preds     []string `json:"predicates"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -570,17 +547,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s.throttle(w, r) {
 		return
 	}
-	sql, code, err := decodeSQL(w, r)
+	req, code, err := decodePredict(w, r)
 	if err != nil {
-		s.fail(w, code, err)
+		s.fail(w, code, codeForStatus(code), err)
 		return
 	}
-	plan, err := logicalplan.PlanSQL(sql)
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, err)
+	// Explain never runs the model, but a named identity is still validated
+	// so a typo fails loudly instead of silently explaining under the
+	// default.
+	if en := s.resolveModel(w, req.Model); en == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse{
+	plan, err := logicalplan.PlanSQL(req.SQL)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ExplainResponse{
 		Plan:      plan.Explain(),
 		PlanNodes: plan.NodeCount(),
 		PlanDepth: plan.MaxDepth(),
@@ -589,29 +572,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// reloadRequest is the JSON body of POST /v1/reload: exactly one of the two
-// paths, each naming an artefact written by the retraining job (`prestroidd
-// -train`) and readable by the serving process. "weights" rolls a
-// weight-only bundle into the existing replicas (feature pipeline and
-// normaliser unchanged); "bundle" rolls a full (pipeline, normaliser,
-// weights) bundle by building fresh replicas off the staged pipeline.
-type reloadRequest struct {
-	Weights string `json:"weights"`
-	Bundle  string `json:"bundle"`
-}
-
-// reloadResponse reports a completed roll.
-type reloadResponse struct {
-	Generation int64   `json:"generation"`
-	Shards     int     `json:"shards"`
-	Mode       string  `json:"mode"` // "weights" or "bundle"
-	Millis     float64 `json:"millis"`
-}
-
 // authorizeAdmin enforces the guard shared by the admin surfaces —
-// /v1/reload and /debug/pprof/ — with a token configured, the request must
-// carry it as a bearer credential; without one, only loopback peers are
-// admitted. It returns the HTTP status to use on rejection.
+// /v1/reload, the per-model actions and /debug/pprof/ — with a token
+// configured, the request must carry it as a bearer credential; without one,
+// only loopback peers are admitted. It returns the HTTP status to use on
+// rejection.
 func (s *Server) authorizeAdmin(r *http.Request) (int, error) {
 	if s.reloadToken != "" {
 		got := r.Header.Get("Authorization")
@@ -640,7 +605,7 @@ func (s *Server) authorizeAdmin(r *http.Request) (int, error) {
 // runtime profiles fall through to Index, which dispatches them itself.
 func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
 	if code, err := s.authorizeAdmin(r); err != nil {
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		writeError(w, code, codeForStatus(code), err.Error())
 		return
 	}
 	switch r.URL.Path {
@@ -657,76 +622,245 @@ func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleReload is the admin endpoint that hot-swaps a retrained bundle into
-// the live replicas: weight-only ({"weights": path}, see
-// ShardedEngine.Reload) or the full predictor identity ({"bundle": path},
-// see ShardedEngine.ReloadBundle). Both paths share one roll machinery, so
-// overlapping rolls of either kind answer 409 and a rejected bundle of
-// either kind answers 422 with zero serving impact. Admin traffic is
-// deliberately kept out of the serving counters: /v1/stats latencies and
+// handleReload is the admin endpoint that rolls a retrained bundle into a
+// serving identity: weight-only ({"weights": path}) or the full predictor
+// identity ({"bundle": path}), in place by default, or staged next to the
+// live engine as a shadow or canary deployment ({"mode": "shadow"} /
+// {"mode": "canary", "percent": N} — full bundles only, since a staged roll
+// builds a complete second engine). The target identity is the request's
+// model field, falling back to the name embedded in the bundle at train
+// time, then to the default model. Overlapping rolls of any kind answer 409
+// and a rejected bundle answers 422 with zero serving impact. Admin traffic
+// is deliberately kept out of the serving counters: /v1/stats latencies and
 // request totals describe prediction traffic only.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed: use POST"})
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "method not allowed: use POST")
 		return
 	}
 	if code, err := s.authorizeAdmin(r); err != nil {
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		writeError(w, code, codeForStatus(code), err.Error())
 		return
 	}
-	var req reloadRequest
+	var req api.ReloadRequest
 	if code, err := decodeJSONBody(w, r, maxReloadBodyBytes, &req); err != nil {
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		writeError(w, code, codeForStatus(code), err.Error())
 		return
 	}
-	var path, mode string
-	var roll func(io.Reader) (int64, error)
+	switch req.Mode {
+	case "", api.StateShadow, api.StateCanary:
+	default:
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("bad mode %q: want shadow or canary (or omit for an in-place roll)", req.Mode))
+		return
+	}
+	if req.Mode == api.StateCanary && (req.Percent < 1 || req.Percent > 99) {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"canary mode needs percent in 1..99")
+		return
+	}
+	if req.Mode != api.StateCanary && req.Percent != 0 {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"percent is only meaningful with mode canary")
+		return
+	}
+	var path, artefact string
 	switch {
 	case req.Weights != "" && req.Bundle != "":
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give exactly one of: weights, bundle"})
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "give exactly one of: weights, bundle")
 		return
 	case req.Weights != "":
-		path, mode, roll = req.Weights, "weights", s.eng.Reload
+		if req.Mode != "" {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"shadow/canary rolls need a full bundle: a staged engine cannot be built from weights alone")
+			return
+		}
+		path, artefact = req.Weights, "weights"
 	case req.Bundle != "":
-		path, mode, roll = req.Bundle, "bundle", s.eng.ReloadBundle
+		path, artefact = req.Bundle, "bundle"
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing field: weights or bundle"})
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing field: weights or bundle")
 		return
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("cannot open %s bundle: %v", mode, err)})
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("cannot open %s bundle: %v", artefact, err))
 		return
 	}
 	defer f.Close()
-	gen, err := roll(f)
+
+	// Resolve the target identity and run the roll. Full bundles are decoded
+	// here — once — so the bundle's embedded model name can take part in the
+	// resolution before an engine is touched.
+	target := req.Model
+	var gen int64
+	var en *ModelEntry
+	if artefact == "weights" {
+		if en = s.resolveModel(w, target); en == nil {
+			return
+		}
+		gen, err = en.ReloadWeights(f)
+	} else {
+		fb, derr := persist.DecodeFullBundle(f)
+		if derr != nil {
+			// A bundle that cannot be decoded is a rejection with zero serving
+			// impact, counted against the identity the request designated (the
+			// default when none was named — the bundle's own name is lost with
+			// the failed decode). Conflict still outranks rejection: if that
+			// identity is mid-roll the caller sees the 409 it would have hit
+			// had the artefact been sound.
+			en := s.reg.Lookup(req.Model)
+			if en == nil {
+				en = s.reg.Default()
+			}
+			if berr := en.reloadBlocked(); berr != nil {
+				writeError(w, http.StatusConflict, api.CodeConflict, berr.Error())
+				return
+			}
+			en.Live().rejected.Inc()
+			writeError(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, derr.Error())
+			return
+		}
+		if target == "" {
+			target = fb.Name()
+		}
+		if en = s.resolveModel(w, target); en == nil {
+			return
+		}
+		switch req.Mode {
+		case "":
+			gen, err = en.ReloadBundle(fb)
+		default:
+			gen, err = en.Stage(fb, req.Mode, req.Percent)
+		}
+	}
 	var partial *PartialRollError
 	switch {
 	case errors.Is(err, ErrReloadInProgress):
-		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusConflict, api.CodeConflict, err.Error())
+		return
+	case errors.Is(err, ErrRollPending):
+		writeError(w, http.StatusConflict, api.CodeConflict, err.Error())
 		return
 	case errors.As(err, &partial):
 		// The roll failed after mutating some shards: not a rejection, the
 		// fleet is split across generations until a follow-up roll lands.
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, api.CodePartialRoll, err.Error())
 		return
 	case err != nil:
 		// The bundle was rejected before any replica was touched.
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, reloadResponse{
+	resp := api.ReloadResponse{
 		Generation: gen,
-		Shards:     s.eng.Shards(),
-		Mode:       mode,
+		Shards:     en.Live().Shards(),
+		Mode:       artefact,
 		Millis:     float64(time.Since(start).Microseconds()) / 1e3,
-	})
+		Roll:       req.Mode,
+		Percent:    req.Percent,
+	}
+	// Model is echoed only when the roll was explicitly targeted, keeping the
+	// single-model daemon's response bytes unchanged.
+	if target != "" {
+		resp.Model = en.Name()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModels serves GET /v1/models: every registered identity with its
+// roll state, generations and deployment counters — the read side of the
+// shadow→canary→promote runbook. Read-only, so it shares the serving trust
+// boundary, not the admin one.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	entries := s.reg.Entries()
+	resp := api.ModelsResponse{Models: make([]api.ModelInfo, len(entries))}
+	for i, en := range entries {
+		ms := en.Snapshot()
+		info := api.ModelInfo{
+			Name:         ms.Name,
+			State:        ms.State,
+			Percent:      ms.Percent,
+			Generation:   ms.Engine.Generation,
+			Kernel:       ms.Engine.Kernel,
+			Replicas:     len(ms.Engine.Shards),
+			Architecture: ms.Engine.ModelName,
+			Parameters:   ms.Engine.Params,
+			Reloads:      ms.Engine.Reloads,
+			Promotions:   ms.Promotions,
+			Aborts:       ms.Aborts,
+			Default:      i == 0,
+		}
+		if ms.Staged != nil {
+			info.StagedGeneration = ms.Staged.Generation
+		}
+		resp.Models[i] = info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModelAction serves POST /v1/models/{name}/promote and .../abort:
+// the resolution of a staged shadow or canary roll. Promote swaps the staged
+// engine live (generation strictly above the one it replaces) and retires
+// the old engine; abort discards the staged engine and keeps live serving.
+// Both are admin surfaces under the same guard as /v1/reload.
+func (s *Server) handleModelAction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "method not allowed: use POST")
+		return
+	}
+	if code, err := s.authorizeAdmin(r); err != nil {
+		writeError(w, code, codeForStatus(code), err.Error())
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/models/"), "/")
+	if len(parts) != 2 || parts[0] == "" {
+		writeError(w, http.StatusNotFound, api.CodeBadRequest,
+			"bad model action path: want /v1/models/{name}/promote or /v1/models/{name}/abort")
+		return
+	}
+	name, action := parts[0], parts[1]
+	en := s.reg.Lookup(name)
+	if en == nil {
+		writeError(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	var gen int64
+	var err error
+	switch action {
+	case "promote":
+		gen, err = en.Promote()
+	case "abort":
+		err = en.Abort()
+		gen = en.Live().Generation()
+	default:
+		writeError(w, http.StatusNotFound, api.CodeBadRequest,
+			fmt.Sprintf("unknown model action %q: want promote or abort", action))
+		return
+	}
+	switch {
+	case errors.Is(err, ErrNoStagedRoll):
+		writeError(w, http.StatusConflict, api.CodeNoStagedRoll, err.Error())
+		return
+	case errors.Is(err, ErrReloadInProgress):
+		writeError(w, http.StatusConflict, api.CodeConflict, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ModelActionResponse{Model: name, Action: action, Generation: gen})
 }
 
 // Snapshot assembles the one telemetry snapshot both operator surfaces
-// render: process runtime state, front-end counters and the engine's
+// render: process runtime state, front-end counters and every identity's
 // per-shard groups, each counter read exactly once per call.
 func (s *Server) Snapshot() telemetry.Snapshot {
 	goVersion, version := telemetry.BuildInfo()
@@ -740,27 +874,16 @@ func (s *Server) Snapshot() telemetry.Snapshot {
 		Throttled:     s.tel.Throttled.Load(),
 		Latency:       s.tel.Latency.Snapshot(),
 		Responses:     s.tel.Responses.Snapshot(),
-		Engine:        s.eng.Snapshot(),
+		Models:        s.reg.Snapshot(),
 	}
 }
 
-// statsFromSnapshot renders the /v1/stats JSON from one snapshot. Totals
-// and per-shard rows derive from the same per-shard reads, so the aggregate
-// can never disagree with the breakdown it sits next to.
-func statsFromSnapshot(snap telemetry.Snapshot) Stats {
-	tot := snap.Engine.Totals()
-	st := Stats{
-		UptimeSeconds:    snap.UptimeSeconds,
-		GoVersion:        snap.GoVersion,
-		Version:          snap.Version,
-		Goroutines:       snap.Goroutines,
-		Requests:         snap.Requests,
-		Errors:           snap.Errors,
-		Throttled:        snap.Throttled,
-		TotalMillis:      snap.Latency.Sum / 1e3,
-		P50Millis:        snap.Latency.Quantile(0.50) / 1e3,
-		P95Millis:        snap.Latency.Quantile(0.95) / 1e3,
-		P99Millis:        snap.Latency.Quantile(0.99) / 1e3,
+// engineStatsFrom renders one engine's slice of the stats view. Totals and
+// per-shard rows derive from the same per-shard reads, so the aggregate can
+// never disagree with the breakdown it sits next to.
+func engineStatsFrom(e telemetry.EngineSnapshot) api.EngineStats {
+	tot := e.Totals()
+	st := api.EngineStats{
 		Batches:          tot.Batches,
 		BatchHist:        batchHistLabels(tot.BatchSizes),
 		CacheHits:        tot.CacheHits,
@@ -773,16 +896,13 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 		Shed:             tot.Shed,
 		Expired:          tot.Expired,
 		MaxEstWaitMillis: tot.MaxEstWaitMicros / 1e3,
-		WeightGeneration: snap.Engine.Generation,
-		Reloads:          snap.Engine.Reloads,
-		RejectedReloads:  snap.Engine.RejectedBundles,
-		Replicas:         len(snap.Engine.Shards),
-		ModelName:        snap.Engine.ModelName,
-		Params:           snap.Engine.Params,
-		Kernel:           snap.Engine.Kernel,
-	}
-	if snap.Requests > 0 {
-		st.AvgMillis = float64(snap.Latency.Sum) / 1e3 / float64(snap.Requests)
+		WeightGeneration: e.Generation,
+		Reloads:          e.Reloads,
+		RejectedReloads:  e.RejectedBundles,
+		Replicas:         len(e.Shards),
+		ModelName:        e.ModelName,
+		Params:           e.Params,
+		Kernel:           e.Kernel,
 	}
 	if tot.Batches > 0 {
 		st.AvgBatchSize = float64(tot.Coalesced) / float64(tot.Batches)
@@ -793,7 +913,7 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 	if lookups := tot.SubtreeHits + tot.SubtreeMisses; lookups > 0 {
 		st.SubtreeHitRate = float64(tot.SubtreeHits) / float64(lookups)
 	}
-	for _, m := range snap.Engine.Shards {
+	for _, m := range e.Shards {
 		sh := ShardStats{
 			Shard:             m.Shard,
 			Batches:           m.Batches,
@@ -821,6 +941,69 @@ func statsFromSnapshot(snap telemetry.Snapshot) Stats {
 			st.QuantMaxError = m.QuantMaxError
 		}
 		st.Shards = append(st.Shards, sh)
+	}
+	return st
+}
+
+// shadowStatsFrom renders a shadow roll's delta telemetry for /v1/stats.
+func shadowStatsFrom(sh telemetry.ShadowSnapshot) api.ShadowStats {
+	st := api.ShadowStats{
+		Mirrored:        sh.Mirrored,
+		Dropped:         sh.Dropped,
+		Errors:          sh.Errors,
+		DeltaP99Minutes: sh.Delta.Quantile(0.99) / 1e6,
+		DeltaMaxMinutes: sh.DeltaMax,
+		ShadowP50Millis: sh.ShadowLatency.Quantile(0.50) / 1e3,
+		ShadowP95Millis: sh.ShadowLatency.Quantile(0.95) / 1e3,
+		LiveP50Millis:   sh.LiveLatency.Quantile(0.50) / 1e3,
+		LiveP95Millis:   sh.LiveLatency.Quantile(0.95) / 1e3,
+	}
+	if sh.Mirrored > 0 {
+		st.DeltaMeanMinutes = float64(sh.Delta.Sum) / 1e6 / float64(sh.Mirrored)
+	}
+	return st
+}
+
+// statsFromSnapshot renders the /v1/stats JSON from one snapshot: the
+// historical top-level fields off the default model's live engine, plus one
+// nested section per registered identity.
+func statsFromSnapshot(snap telemetry.Snapshot) Stats {
+	st := Stats{
+		UptimeSeconds: snap.UptimeSeconds,
+		GoVersion:     snap.GoVersion,
+		Version:       snap.Version,
+		Goroutines:    snap.Goroutines,
+		Requests:      snap.Requests,
+		Errors:        snap.Errors,
+		Throttled:     snap.Throttled,
+		TotalMillis:   snap.Latency.Sum / 1e3,
+		P50Millis:     snap.Latency.Quantile(0.50) / 1e3,
+		P95Millis:     snap.Latency.Quantile(0.95) / 1e3,
+		P99Millis:     snap.Latency.Quantile(0.99) / 1e3,
+		EngineStats:   engineStatsFrom(snap.Default().Engine),
+	}
+	if snap.Requests > 0 {
+		st.AvgMillis = float64(snap.Latency.Sum) / 1e3 / float64(snap.Requests)
+	}
+	st.Models = make([]api.ModelStats, len(snap.Models))
+	for i, m := range snap.Models {
+		ms := api.ModelStats{
+			Name:        m.Name,
+			State:       m.State,
+			Percent:     m.Percent,
+			Promotions:  m.Promotions,
+			Aborts:      m.Aborts,
+			EngineStats: engineStatsFrom(m.Engine),
+		}
+		if m.Staged != nil {
+			staged := engineStatsFrom(*m.Staged)
+			ms.Staged = &staged
+		}
+		if m.Shadow != nil {
+			shadow := shadowStatsFrom(*m.Shadow)
+			ms.Shadow = &shadow
+		}
+		st.Models[i] = ms
 	}
 	return st
 }
@@ -868,9 +1051,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WritePrometheus(w, s.Snapshot())
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+// fail answers a failed serving request with the unified error envelope and
+// counts it on the error surface; failRetry additionally prices the retry
+// (mirroring the Retry-After header the caller already set, in
+// milliseconds so sub-second hints survive).
+func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
 	s.tel.Errors.Inc()
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	writeError(w, status, code, err.Error())
+}
+
+func (s *Server) failRetry(w http.ResponseWriter, status int, code string, err error, retryMS int64) {
+	s.tel.Errors.Inc()
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{
+		Code: code, Message: err.Error(), RetryAfterMS: retryMS}})
+}
+
+// writeError renders the unified error envelope — the one JSON error shape
+// every v1 endpoint uses on every failure path.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"prestroid/internal/api"
 	"prestroid/internal/dataset"
 	"prestroid/internal/models"
 	"prestroid/internal/telemetry"
@@ -116,12 +117,12 @@ func TestPredictBadSQL(t *testing.T) {
 	if w.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("bad sql = %d", w.Code)
 	}
-	var e map[string]string
+	var e api.ErrorResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
 		t.Fatal(err)
 	}
-	if e["error"] == "" {
-		t.Fatal("missing error message")
+	if e.Error.Code != api.CodeUnprocessable || e.Error.Message == "" {
+		t.Fatalf("error envelope %+v, want code %q and a message", e.Error, api.CodeUnprocessable)
 	}
 }
 
@@ -219,7 +220,7 @@ func TestExplainEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("explain = %d: %s", w.Code, w.Body)
 	}
-	var e explainResponse
+	var e api.ExplainResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
 		t.Fatal(err)
 	}
@@ -350,19 +351,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := metricValue(t, exposition, "prestroid_request_errors_total"); int64(got) != st.Errors {
 		t.Fatalf("errors: metrics %v vs stats %d", got, st.Errors)
 	}
-	if got := metricValue(t, exposition, "prestroid_generation"); int64(got) != st.WeightGeneration {
+	if got := metricValue(t, exposition, `prestroid_generation{model="default"}`); int64(got) != st.WeightGeneration {
 		t.Fatalf("generation: metrics %v vs stats %d", got, st.WeightGeneration)
 	}
-	if got := metricValue(t, exposition, "prestroid_shards"); int(got) != st.Replicas {
+	if got := metricValue(t, exposition, `prestroid_shards{model="default"}`); int(got) != st.Replicas {
 		t.Fatalf("shards: metrics %v vs stats %d", got, st.Replicas)
 	}
 	// Per-shard series sum to the stats aggregates (one snapshot each side).
 	var hits float64
 	for _, sh := range st.Shards {
 		hits += metricValue(t, exposition,
-			fmt.Sprintf(`prestroid_shard_cache_hits_total{shard="%d"}`, sh.Shard))
+			fmt.Sprintf(`prestroid_shard_cache_hits_total{model="default",shard="%d"}`, sh.Shard))
 		if gen := metricValue(t, exposition,
-			fmt.Sprintf(`prestroid_shard_generation{shard="%d"}`, sh.Shard)); int64(gen) != sh.Generation {
+			fmt.Sprintf(`prestroid_shard_generation{model="default",shard="%d"}`, sh.Shard)); int64(gen) != sh.Generation {
 			t.Fatalf("shard %d generation: metrics %v vs stats %d", sh.Shard, gen, sh.Generation)
 		}
 	}

@@ -113,6 +113,13 @@ type modelIdent struct {
 // the shard count.
 // Callers must Close the engine to release the batcher goroutines.
 func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
+	return newShardedEngineAt(preds, cfg, initialGeneration)
+}
+
+// newShardedEngineAt is NewShardedEngine with an explicit starting
+// generation, used when a staged shadow/canary engine must be born at the
+// generation its bundle will carry on promotion.
+func newShardedEngineAt(preds []*Predictor, cfg Config, gen int64) *ShardedEngine {
 	if len(preds) == 0 {
 		panic("serve: NewShardedEngine needs at least one predictor")
 	}
@@ -127,10 +134,10 @@ func NewShardedEngine(preds []*Predictor, cfg Config) *ShardedEngine {
 		shards:           make([]*Engine, len(preds)),
 		maxEstWaitMicros: float64(cfg.MaxEstWait.Microseconds()),
 	}
-	se.generation.Store(initialGeneration)
+	se.generation.Store(gen)
 	se.ident.Store(&modelIdent{name: preds[0].Model.Name(), params: preds[0].Model.ParamCount()})
 	for i, p := range preds {
-		se.shards[i] = NewEngine(p, per)
+		se.shards[i] = newEngineAt(p, per, gen)
 	}
 	return se
 }

@@ -22,9 +22,16 @@ var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
 // WritePrometheus renders a Snapshot in the Prometheus text exposition
 // format (version 0.0.4), hand-rolled so the serving binary takes no client
-// dependency. Metric names carry the prestroid_ prefix; per-shard series
-// carry a shard label. Output order is deterministic, which the golden test
-// pins: scrapers don't care, but diffs and operators do.
+// dependency. Metric names carry the prestroid_ prefix; every engine-level
+// series carries a model label naming the serving identity, and per-shard
+// series add a shard label on top. Output order is deterministic, which the
+// golden test pins: scrapers don't care, but diffs and operators do.
+//
+// A staged (shadow/canary) bundle surfaces through
+// prestroid_staged_generation, prestroid_canary_percent and the
+// prestroid_shadow_* series; its per-shard internals are deliberately kept
+// off the exposition (they live in the /v1/stats "staged" section) so a roll
+// does not double every shard series a dashboard sums over.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	p := &promWriter{w: w}
 
@@ -56,61 +63,146 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 
-	e := s.Engine
-	p.header("prestroid_generation", "Predictor-identity generation completed on every shard.", "gauge")
-	p.printf("prestroid_generation %d\n", e.Generation)
-	p.header("prestroid_reloads_total", "Completed bundle rolls (weight-only or full).", "counter")
-	p.printf("prestroid_reloads_total %d\n", e.Reloads)
-	p.header("prestroid_reload_rejected_total", "Reload attempts rejected before touching any replica.", "counter")
-	p.printf("prestroid_reload_rejected_total %d\n", e.RejectedBundles)
+	ms := s.Models
+	p.header("prestroid_model_state", "Roll state of each serving identity (live, shadow or canary); the value is always 1.", "gauge")
+	for _, m := range ms {
+		p.printf("prestroid_model_state{model=%s,state=%s} 1\n", quoteLabel(m.Name), quoteLabel(m.State))
+	}
+	p.header("prestroid_generation", "Predictor-identity generation completed on every shard, per model.", "gauge")
+	for _, m := range ms {
+		p.printf("prestroid_generation{model=%s} %d\n", quoteLabel(m.Name), m.Engine.Generation)
+	}
+	p.header("prestroid_staged_generation", "Generation of the staged shadow/canary bundle; no series when no roll is pending.", "gauge")
+	for _, m := range ms {
+		if m.Staged != nil {
+			p.printf("prestroid_staged_generation{model=%s} %d\n", quoteLabel(m.Name), m.Staged.Generation)
+		}
+	}
+	p.header("prestroid_canary_percent", "Keyspace percentage routed to the staged bundle; no series unless a canary is pending.", "gauge")
+	for _, m := range ms {
+		if m.State == "canary" {
+			p.printf("prestroid_canary_percent{model=%s} %d\n", quoteLabel(m.Name), m.Percent)
+		}
+	}
+	p.header("prestroid_reloads_total", "Completed bundle rolls (weight-only or full), per model.", "counter")
+	for _, m := range ms {
+		p.printf("prestroid_reloads_total{model=%s} %d\n", quoteLabel(m.Name), m.Engine.Reloads)
+	}
+	p.header("prestroid_reload_rejected_total", "Reload attempts rejected before touching any replica, per model.", "counter")
+	for _, m := range ms {
+		p.printf("prestroid_reload_rejected_total{model=%s} %d\n", quoteLabel(m.Name), m.Engine.RejectedBundles)
+	}
+	p.header("prestroid_model_promotions_total", "Staged rolls promoted to live, per model.", "counter")
+	for _, m := range ms {
+		p.printf("prestroid_model_promotions_total{model=%s} %d\n", quoteLabel(m.Name), m.Promotions)
+	}
+	p.header("prestroid_model_aborts_total", "Staged rolls aborted, per model.", "counter")
+	for _, m := range ms {
+		p.printf("prestroid_model_aborts_total{model=%s} %d\n", quoteLabel(m.Name), m.Aborts)
+	}
 	p.header("prestroid_model_parameters", "Parameter count of the live model identity.", "gauge")
-	p.printf("prestroid_model_parameters{model=%s} %d\n", quoteLabel(e.ModelName), e.Params)
-	p.header("prestroid_shards", "Live shard (model replica) count.", "gauge")
-	p.printf("prestroid_shards %d\n", len(e.Shards))
+	for _, m := range ms {
+		p.printf("prestroid_model_parameters{model=%s,architecture=%s} %d\n",
+			quoteLabel(m.Name), quoteLabel(m.Engine.ModelName), m.Engine.Params)
+	}
+	p.header("prestroid_shards", "Live shard (model replica) count, per model.", "gauge")
+	for _, m := range ms {
+		p.printf("prestroid_shards{model=%s} %d\n", quoteLabel(m.Name), len(m.Engine.Shards))
+	}
 
 	p.shardSeries("prestroid_shard_batches_total", "Coalesced batches flushed, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.Batches })
+		ms, func(s ShardSnapshot) int64 { return s.Batches })
 	p.shardSeries("prestroid_shard_coalesced_total", "Queries served through flushed batches, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.Coalesced })
+		ms, func(s ShardSnapshot) int64 { return s.Coalesced })
 	p.header("prestroid_shard_batch_size", "Deduplicated rows per flushed batch, per shard.", "histogram")
-	for _, sh := range e.Shards {
-		p.histogram("prestroid_shard_batch_size", fmt.Sprintf(`shard="%d"`, sh.Shard), sh.BatchSizes, 1)
+	for _, m := range ms {
+		for _, sh := range m.Engine.Shards {
+			p.histogram("prestroid_shard_batch_size",
+				fmt.Sprintf(`model=%s,shard="%d"`, quoteLabel(m.Name), sh.Shard), sh.BatchSizes, 1)
+		}
 	}
 	p.shardSeries("prestroid_shard_cache_hits_total", "Prediction-cache hits, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.CacheHits })
+		ms, func(s ShardSnapshot) int64 { return s.CacheHits })
 	p.shardSeries("prestroid_shard_cache_misses_total", "Prediction-cache misses, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.CacheMisses })
+		ms, func(s ShardSnapshot) int64 { return s.CacheMisses })
 	p.shardSeries("prestroid_shard_cache_entries", "Live prediction-cache entries, per shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 { return int64(s.CacheEntries) })
+		ms, func(s ShardSnapshot) int64 { return int64(s.CacheEntries) })
 	p.shardSeries("prestroid_shard_subtree_cache_hits_total", "Sub-tree convolution cache hits, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeHits })
+		ms, func(s ShardSnapshot) int64 { return s.SubtreeHits })
 	p.shardSeries("prestroid_shard_subtree_cache_misses_total", "Sub-tree convolutions computed (cache misses), per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeMisses })
+		ms, func(s ShardSnapshot) int64 { return s.SubtreeMisses })
 	p.shardSeries("prestroid_shard_subtree_cache_entries", "Live sub-tree cache entries, per shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 { return int64(s.SubtreeEntries) })
+		ms, func(s ShardSnapshot) int64 { return int64(s.SubtreeEntries) })
 	p.shardSeries("prestroid_shard_subtree_cache_bytes", "Payload bytes held by the sub-tree cache, per shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 { return s.SubtreeBytes })
+		ms, func(s ShardSnapshot) int64 { return s.SubtreeBytes })
 	p.shardSeries("prestroid_shard_queue_depth", "Jobs waiting in the batcher queue, per shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 { return int64(s.Queued) })
+		ms, func(s ShardSnapshot) int64 { return int64(s.Queued) })
 	p.shardSeries("prestroid_shard_generation", "Predictor-identity generation serving on each shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 { return s.Generation })
+		ms, func(s ShardSnapshot) int64 { return s.Generation })
 	p.shardSeries("prestroid_shard_quantized", "1 when the shard serves through the int8 kernels, 0 for float.", "gauge",
-		e.Shards, func(s ShardSnapshot) int64 {
+		ms, func(s ShardSnapshot) int64 {
 			if s.Quantized {
 				return 1
 			}
 			return 0
 		})
 	p.shardFloatSeries("prestroid_shard_quant_max_error", "Worst absolute int8 quantisation error observed on the shard (0 when float).", "gauge",
-		e.Shards, func(s ShardSnapshot) float64 { return s.QuantMaxError })
+		ms, func(s ShardSnapshot) float64 { return s.QuantMaxError })
 	p.shardSeries("prestroid_shard_shed_total", "Queries refused by bounded-wait admission control, per home shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.Shed })
+		ms, func(s ShardSnapshot) int64 { return s.Shed })
 	p.shardSeries("prestroid_shard_expired_total", "Queries dropped because their deadline passed, per shard.", "counter",
-		e.Shards, func(s ShardSnapshot) int64 { return s.Expired })
+		ms, func(s ShardSnapshot) int64 { return s.Expired })
 	p.shardFloatSeries("prestroid_shard_service_time_seconds", "EWMA per-query drain time through the shard's batcher (0 until the first flush).", "gauge",
-		e.Shards, func(s ShardSnapshot) float64 { return s.ServiceTimeMicros / 1e6 })
+		ms, func(s ShardSnapshot) float64 { return s.ServiceTimeMicros / 1e6 })
 	p.shardFloatSeries("prestroid_shard_est_wait_seconds", "Estimated wait for new work: queue depth times EWMA service time, per shard.", "gauge",
-		e.Shards, func(s ShardSnapshot) float64 { return s.EstWaitMicros / 1e6 })
+		ms, func(s ShardSnapshot) float64 { return s.EstWaitMicros / 1e6 })
+
+	p.header("prestroid_shadow_mirrored_total", "Live requests the staged shadow bundle re-predicted off the hot path.", "counter")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.printf("prestroid_shadow_mirrored_total{model=%s} %d\n", quoteLabel(m.Name), m.Shadow.Mirrored)
+		}
+	}
+	p.header("prestroid_shadow_dropped_total", "Mirror candidates skipped because the mirror's bounded concurrency was exhausted.", "counter")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.printf("prestroid_shadow_dropped_total{model=%s} %d\n", quoteLabel(m.Name), m.Shadow.Dropped)
+		}
+	}
+	p.header("prestroid_shadow_errors_total", "Mirrored predictions the staged bundle failed.", "counter")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.printf("prestroid_shadow_errors_total{model=%s} %d\n", quoteLabel(m.Name), m.Shadow.Errors)
+		}
+	}
+	p.header("prestroid_shadow_output_delta_minutes", "Absolute output delta |staged - live| in CPU-minutes over mirrored predictions.", "histogram")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.histogram("prestroid_shadow_output_delta_minutes",
+				"model="+quoteLabel(m.Name), m.Shadow.Delta, 1e6)
+		}
+	}
+	p.header("prestroid_shadow_output_delta_max_minutes", "Worst absolute output delta observed during the shadow roll.", "gauge")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.printf("prestroid_shadow_output_delta_max_minutes{model=%s} %s\n",
+				quoteLabel(m.Name), formatFloat(m.Shadow.DeltaMax))
+		}
+	}
+	p.header("prestroid_shadow_latency_seconds", "Per-prediction latency of the staged shadow bundle over mirrored requests.", "histogram")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.histogram("prestroid_shadow_latency_seconds",
+				"model="+quoteLabel(m.Name), m.Shadow.ShadowLatency, 1e6)
+		}
+	}
+	p.header("prestroid_shadow_live_latency_seconds", "Live-model latency of the same mirrored requests, for delta comparison.", "histogram")
+	for _, m := range ms {
+		if m.Shadow != nil {
+			p.histogram("prestroid_shadow_live_latency_seconds",
+				"model="+quoteLabel(m.Name), m.Shadow.LiveLatency, 1e6)
+		}
+	}
 	return p.err
 }
 
@@ -131,22 +223,27 @@ func (p *promWriter) header(name, help, typ string) {
 	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
-// shardSeries writes one HELP/TYPE header and a shard-labelled series per
-// shard, so every per-shard metric shares one emission path.
-func (p *promWriter) shardSeries(name, help, typ string, shards []ShardSnapshot, value func(ShardSnapshot) int64) {
+// shardSeries writes one HELP/TYPE header and a model+shard-labelled series
+// per live-engine shard of every model, so every per-shard metric shares one
+// emission path.
+func (p *promWriter) shardSeries(name, help, typ string, models []ModelSnapshot, value func(ShardSnapshot) int64) {
 	p.header(name, help, typ)
-	for _, sh := range shards {
-		p.printf("%s{shard=\"%d\"} %d\n", name, sh.Shard, value(sh))
+	for _, m := range models {
+		for _, sh := range m.Engine.Shards {
+			p.printf("%s{model=%s,shard=\"%d\"} %d\n", name, quoteLabel(m.Name), sh.Shard, value(sh))
+		}
 	}
 }
 
 // shardFloatSeries is shardSeries for float-valued gauges, rendered with the
 // same shortest-round-trip float syntax as every other float in the
 // exposition.
-func (p *promWriter) shardFloatSeries(name, help, typ string, shards []ShardSnapshot, value func(ShardSnapshot) float64) {
+func (p *promWriter) shardFloatSeries(name, help, typ string, models []ModelSnapshot, value func(ShardSnapshot) float64) {
 	p.header(name, help, typ)
-	for _, sh := range shards {
-		p.printf("%s{shard=\"%d\"} %s\n", name, sh.Shard, formatFloat(value(sh)))
+	for _, m := range models {
+		for _, sh := range m.Engine.Shards {
+			p.printf("%s{model=%s,shard=\"%d\"} %s\n", name, quoteLabel(m.Name), sh.Shard, formatFloat(value(sh)))
+		}
 	}
 }
 

@@ -5,9 +5,12 @@ import (
 	"testing"
 )
 
-// goldenSnapshot builds a fully-populated fixed snapshot. The latency
-// histogram uses three small buckets so the golden text stays readable; the
-// shard histograms use the real batch buckets.
+// goldenSnapshot builds a fully-populated fixed snapshot: a default model in
+// live state plus a second identity mid-shadow-roll, so the golden text pins
+// the model labelling, the staged-roll series and the shadow-delta series in
+// one place. The latency and delta histograms use small bucket sets so the
+// golden text stays readable; the shard histograms use the real batch
+// buckets.
 func goldenSnapshot() Snapshot {
 	lat := NewHistogram([]int64{1000, 10000, 100000})
 	lat.Observe(500)
@@ -21,6 +24,16 @@ func goldenSnapshot() Snapshot {
 	bs1 := NewHistogram(BatchBuckets())
 	bs1.Observe(1)
 	bs1.Observe(1)
+	bsBeta := NewHistogram(BatchBuckets())
+
+	delta := NewHistogram([]int64{1000, 1000000})
+	delta.Observe(500)
+	delta.Observe(2000)
+	shadowLat := NewHistogram([]int64{1000, 10000})
+	shadowLat.Observe(800)
+	shadowLat.Observe(1200)
+	liveLat := NewHistogram([]int64{1000, 10000})
+	liveLat.Observe(500)
 
 	return Snapshot{
 		UptimeSeconds: 12.5,
@@ -36,32 +49,63 @@ func goldenSnapshot() Snapshot {
 			{Endpoint: "/v1/stats", Classes: [5]int64{0, 1, 0, 0, 0}},
 			{Endpoint: "/healthz"}, // all-zero: no series emitted
 		},
-		Engine: EngineSnapshot{
-			Generation:      2,
-			Reloads:         1,
-			RejectedBundles: 1,
-			ModelName:       "prestroid",
-			Params:          12345,
-			Kernel:          "int8",
-			Shards: []ShardSnapshot{
-				{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
-					CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
-					SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
-					Shed: 3, Expired: 1, ServiceTimeMicros: 1500, EstWaitMicros: 1500,
-					Queued: 1, Generation: 2, Quantized: true, QuantMaxError: 0.0042},
-				{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
-					CacheMisses: 2, CacheEntries: 2,
-					SubtreeMisses: 2, SubtreeEntries: 2, SubtreeBytes: 256,
-					Generation: 2, Quantized: true},
+		Models: []ModelSnapshot{
+			{
+				Name:       "default",
+				State:      "live",
+				Promotions: 1,
+				Engine: EngineSnapshot{
+					Generation:      2,
+					Reloads:         1,
+					RejectedBundles: 1,
+					ModelName:       "prestroid",
+					Params:          12345,
+					Kernel:          "int8",
+					Shards: []ShardSnapshot{
+						{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
+							CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
+							SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
+							Shed: 3, Expired: 1, ServiceTimeMicros: 1500, EstWaitMicros: 1500,
+							Queued: 1, Generation: 2, Quantized: true, QuantMaxError: 0.0042},
+						{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
+							CacheMisses: 2, CacheEntries: 2,
+							SubtreeMisses: 2, SubtreeEntries: 2, SubtreeBytes: 256,
+							Generation: 2, Quantized: true},
+					},
+				},
+			},
+			{
+				Name:   "beta",
+				State:  "shadow",
+				Aborts: 1,
+				Engine: EngineSnapshot{
+					Generation: 1,
+					ModelName:  "prestroid",
+					Params:     12345,
+					Kernel:     "float",
+					Shards: []ShardSnapshot{
+						{Shard: 0, BatchSizes: bsBeta.Snapshot(), Generation: 1},
+					},
+				},
+				Staged: &EngineSnapshot{Generation: 2},
+				Shadow: &ShadowSnapshot{
+					Mirrored:      6,
+					Dropped:       1,
+					Errors:        1,
+					Delta:         delta.Snapshot(),
+					DeltaMax:      0.002,
+					ShadowLatency: shadowLat.Snapshot(),
+					LiveLatency:   liveLat.Snapshot(),
+				},
 			},
 		},
 	}
 }
 
 // goldenExposition pins the exact exposition output: metric names, HELP and
-// TYPE lines, label sets (shard labels included) and value formatting. A
-// diff here means the scrape contract changed — rename dashboards and
-// alerts along with it.
+// TYPE lines, label sets (model and shard labels included) and value
+// formatting. A diff here means the scrape contract changed — rename
+// dashboards and alerts along with it.
 const goldenExposition = `# HELP prestroid_build_info Build metadata of the serving binary; the value is always 1.
 # TYPE prestroid_build_info gauge
 prestroid_build_info{go_version="go1.24.0",version="(devel)"} 1
@@ -93,109 +137,190 @@ prestroid_request_latency_seconds_count 3
 prestroid_http_responses_total{endpoint="/v1/predict",status="2xx"} 40
 prestroid_http_responses_total{endpoint="/v1/predict",status="4xx"} 2
 prestroid_http_responses_total{endpoint="/v1/stats",status="2xx"} 1
-# HELP prestroid_generation Predictor-identity generation completed on every shard.
+# HELP prestroid_model_state Roll state of each serving identity (live, shadow or canary); the value is always 1.
+# TYPE prestroid_model_state gauge
+prestroid_model_state{model="default",state="live"} 1
+prestroid_model_state{model="beta",state="shadow"} 1
+# HELP prestroid_generation Predictor-identity generation completed on every shard, per model.
 # TYPE prestroid_generation gauge
-prestroid_generation 2
-# HELP prestroid_reloads_total Completed bundle rolls (weight-only or full).
+prestroid_generation{model="default"} 2
+prestroid_generation{model="beta"} 1
+# HELP prestroid_staged_generation Generation of the staged shadow/canary bundle; no series when no roll is pending.
+# TYPE prestroid_staged_generation gauge
+prestroid_staged_generation{model="beta"} 2
+# HELP prestroid_canary_percent Keyspace percentage routed to the staged bundle; no series unless a canary is pending.
+# TYPE prestroid_canary_percent gauge
+# HELP prestroid_reloads_total Completed bundle rolls (weight-only or full), per model.
 # TYPE prestroid_reloads_total counter
-prestroid_reloads_total 1
-# HELP prestroid_reload_rejected_total Reload attempts rejected before touching any replica.
+prestroid_reloads_total{model="default"} 1
+prestroid_reloads_total{model="beta"} 0
+# HELP prestroid_reload_rejected_total Reload attempts rejected before touching any replica, per model.
 # TYPE prestroid_reload_rejected_total counter
-prestroid_reload_rejected_total 1
+prestroid_reload_rejected_total{model="default"} 1
+prestroid_reload_rejected_total{model="beta"} 0
+# HELP prestroid_model_promotions_total Staged rolls promoted to live, per model.
+# TYPE prestroid_model_promotions_total counter
+prestroid_model_promotions_total{model="default"} 1
+prestroid_model_promotions_total{model="beta"} 0
+# HELP prestroid_model_aborts_total Staged rolls aborted, per model.
+# TYPE prestroid_model_aborts_total counter
+prestroid_model_aborts_total{model="default"} 0
+prestroid_model_aborts_total{model="beta"} 1
 # HELP prestroid_model_parameters Parameter count of the live model identity.
 # TYPE prestroid_model_parameters gauge
-prestroid_model_parameters{model="prestroid"} 12345
-# HELP prestroid_shards Live shard (model replica) count.
+prestroid_model_parameters{model="default",architecture="prestroid"} 12345
+prestroid_model_parameters{model="beta",architecture="prestroid"} 12345
+# HELP prestroid_shards Live shard (model replica) count, per model.
 # TYPE prestroid_shards gauge
-prestroid_shards 2
+prestroid_shards{model="default"} 2
+prestroid_shards{model="beta"} 1
 # HELP prestroid_shard_batches_total Coalesced batches flushed, per shard.
 # TYPE prestroid_shard_batches_total counter
-prestroid_shard_batches_total{shard="0"} 5
-prestroid_shard_batches_total{shard="1"} 2
+prestroid_shard_batches_total{model="default",shard="0"} 5
+prestroid_shard_batches_total{model="default",shard="1"} 2
+prestroid_shard_batches_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_coalesced_total Queries served through flushed batches, per shard.
 # TYPE prestroid_shard_coalesced_total counter
-prestroid_shard_coalesced_total{shard="0"} 9
-prestroid_shard_coalesced_total{shard="1"} 2
+prestroid_shard_coalesced_total{model="default",shard="0"} 9
+prestroid_shard_coalesced_total{model="default",shard="1"} 2
+prestroid_shard_coalesced_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_batch_size Deduplicated rows per flushed batch, per shard.
 # TYPE prestroid_shard_batch_size histogram
-prestroid_shard_batch_size_bucket{shard="0",le="1"} 3
-prestroid_shard_batch_size_bucket{shard="0",le="2"} 4
-prestroid_shard_batch_size_bucket{shard="0",le="4"} 4
-prestroid_shard_batch_size_bucket{shard="0",le="8"} 5
-prestroid_shard_batch_size_bucket{shard="0",le="16"} 5
-prestroid_shard_batch_size_bucket{shard="0",le="32"} 5
-prestroid_shard_batch_size_bucket{shard="0",le="+Inf"} 5
-prestroid_shard_batch_size_sum{shard="0"} 10
-prestroid_shard_batch_size_count{shard="0"} 5
-prestroid_shard_batch_size_bucket{shard="1",le="1"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="2"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="4"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="8"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="16"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="32"} 2
-prestroid_shard_batch_size_bucket{shard="1",le="+Inf"} 2
-prestroid_shard_batch_size_sum{shard="1"} 2
-prestroid_shard_batch_size_count{shard="1"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="1"} 3
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="2"} 4
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="4"} 4
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="8"} 5
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="16"} 5
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="32"} 5
+prestroid_shard_batch_size_bucket{model="default",shard="0",le="+Inf"} 5
+prestroid_shard_batch_size_sum{model="default",shard="0"} 10
+prestroid_shard_batch_size_count{model="default",shard="0"} 5
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="1"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="2"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="4"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="8"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="16"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="32"} 2
+prestroid_shard_batch_size_bucket{model="default",shard="1",le="+Inf"} 2
+prestroid_shard_batch_size_sum{model="default",shard="1"} 2
+prestroid_shard_batch_size_count{model="default",shard="1"} 2
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="1"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="2"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="4"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="8"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="16"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="32"} 0
+prestroid_shard_batch_size_bucket{model="beta",shard="0",le="+Inf"} 0
+prestroid_shard_batch_size_sum{model="beta",shard="0"} 0
+prestroid_shard_batch_size_count{model="beta",shard="0"} 0
 # HELP prestroid_shard_cache_hits_total Prediction-cache hits, per shard.
 # TYPE prestroid_shard_cache_hits_total counter
-prestroid_shard_cache_hits_total{shard="0"} 7
-prestroid_shard_cache_hits_total{shard="1"} 0
+prestroid_shard_cache_hits_total{model="default",shard="0"} 7
+prestroid_shard_cache_hits_total{model="default",shard="1"} 0
+prestroid_shard_cache_hits_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_cache_misses_total Prediction-cache misses, per shard.
 # TYPE prestroid_shard_cache_misses_total counter
-prestroid_shard_cache_misses_total{shard="0"} 5
-prestroid_shard_cache_misses_total{shard="1"} 2
+prestroid_shard_cache_misses_total{model="default",shard="0"} 5
+prestroid_shard_cache_misses_total{model="default",shard="1"} 2
+prestroid_shard_cache_misses_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_cache_entries Live prediction-cache entries, per shard.
 # TYPE prestroid_shard_cache_entries gauge
-prestroid_shard_cache_entries{shard="0"} 4
-prestroid_shard_cache_entries{shard="1"} 2
+prestroid_shard_cache_entries{model="default",shard="0"} 4
+prestroid_shard_cache_entries{model="default",shard="1"} 2
+prestroid_shard_cache_entries{model="beta",shard="0"} 0
 # HELP prestroid_shard_subtree_cache_hits_total Sub-tree convolution cache hits, per shard.
 # TYPE prestroid_shard_subtree_cache_hits_total counter
-prestroid_shard_subtree_cache_hits_total{shard="0"} 11
-prestroid_shard_subtree_cache_hits_total{shard="1"} 0
+prestroid_shard_subtree_cache_hits_total{model="default",shard="0"} 11
+prestroid_shard_subtree_cache_hits_total{model="default",shard="1"} 0
+prestroid_shard_subtree_cache_hits_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_subtree_cache_misses_total Sub-tree convolutions computed (cache misses), per shard.
 # TYPE prestroid_shard_subtree_cache_misses_total counter
-prestroid_shard_subtree_cache_misses_total{shard="0"} 6
-prestroid_shard_subtree_cache_misses_total{shard="1"} 2
+prestroid_shard_subtree_cache_misses_total{model="default",shard="0"} 6
+prestroid_shard_subtree_cache_misses_total{model="default",shard="1"} 2
+prestroid_shard_subtree_cache_misses_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_subtree_cache_entries Live sub-tree cache entries, per shard.
 # TYPE prestroid_shard_subtree_cache_entries gauge
-prestroid_shard_subtree_cache_entries{shard="0"} 3
-prestroid_shard_subtree_cache_entries{shard="1"} 2
+prestroid_shard_subtree_cache_entries{model="default",shard="0"} 3
+prestroid_shard_subtree_cache_entries{model="default",shard="1"} 2
+prestroid_shard_subtree_cache_entries{model="beta",shard="0"} 0
 # HELP prestroid_shard_subtree_cache_bytes Payload bytes held by the sub-tree cache, per shard.
 # TYPE prestroid_shard_subtree_cache_bytes gauge
-prestroid_shard_subtree_cache_bytes{shard="0"} 384
-prestroid_shard_subtree_cache_bytes{shard="1"} 256
+prestroid_shard_subtree_cache_bytes{model="default",shard="0"} 384
+prestroid_shard_subtree_cache_bytes{model="default",shard="1"} 256
+prestroid_shard_subtree_cache_bytes{model="beta",shard="0"} 0
 # HELP prestroid_shard_queue_depth Jobs waiting in the batcher queue, per shard.
 # TYPE prestroid_shard_queue_depth gauge
-prestroid_shard_queue_depth{shard="0"} 1
-prestroid_shard_queue_depth{shard="1"} 0
+prestroid_shard_queue_depth{model="default",shard="0"} 1
+prestroid_shard_queue_depth{model="default",shard="1"} 0
+prestroid_shard_queue_depth{model="beta",shard="0"} 0
 # HELP prestroid_shard_generation Predictor-identity generation serving on each shard.
 # TYPE prestroid_shard_generation gauge
-prestroid_shard_generation{shard="0"} 2
-prestroid_shard_generation{shard="1"} 2
+prestroid_shard_generation{model="default",shard="0"} 2
+prestroid_shard_generation{model="default",shard="1"} 2
+prestroid_shard_generation{model="beta",shard="0"} 1
 # HELP prestroid_shard_quantized 1 when the shard serves through the int8 kernels, 0 for float.
 # TYPE prestroid_shard_quantized gauge
-prestroid_shard_quantized{shard="0"} 1
-prestroid_shard_quantized{shard="1"} 1
+prestroid_shard_quantized{model="default",shard="0"} 1
+prestroid_shard_quantized{model="default",shard="1"} 1
+prestroid_shard_quantized{model="beta",shard="0"} 0
 # HELP prestroid_shard_quant_max_error Worst absolute int8 quantisation error observed on the shard (0 when float).
 # TYPE prestroid_shard_quant_max_error gauge
-prestroid_shard_quant_max_error{shard="0"} 0.0042
-prestroid_shard_quant_max_error{shard="1"} 0
+prestroid_shard_quant_max_error{model="default",shard="0"} 0.0042
+prestroid_shard_quant_max_error{model="default",shard="1"} 0
+prestroid_shard_quant_max_error{model="beta",shard="0"} 0
 # HELP prestroid_shard_shed_total Queries refused by bounded-wait admission control, per home shard.
 # TYPE prestroid_shard_shed_total counter
-prestroid_shard_shed_total{shard="0"} 3
-prestroid_shard_shed_total{shard="1"} 0
+prestroid_shard_shed_total{model="default",shard="0"} 3
+prestroid_shard_shed_total{model="default",shard="1"} 0
+prestroid_shard_shed_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_expired_total Queries dropped because their deadline passed, per shard.
 # TYPE prestroid_shard_expired_total counter
-prestroid_shard_expired_total{shard="0"} 1
-prestroid_shard_expired_total{shard="1"} 0
+prestroid_shard_expired_total{model="default",shard="0"} 1
+prestroid_shard_expired_total{model="default",shard="1"} 0
+prestroid_shard_expired_total{model="beta",shard="0"} 0
 # HELP prestroid_shard_service_time_seconds EWMA per-query drain time through the shard's batcher (0 until the first flush).
 # TYPE prestroid_shard_service_time_seconds gauge
-prestroid_shard_service_time_seconds{shard="0"} 0.0015
-prestroid_shard_service_time_seconds{shard="1"} 0
+prestroid_shard_service_time_seconds{model="default",shard="0"} 0.0015
+prestroid_shard_service_time_seconds{model="default",shard="1"} 0
+prestroid_shard_service_time_seconds{model="beta",shard="0"} 0
 # HELP prestroid_shard_est_wait_seconds Estimated wait for new work: queue depth times EWMA service time, per shard.
 # TYPE prestroid_shard_est_wait_seconds gauge
-prestroid_shard_est_wait_seconds{shard="0"} 0.0015
-prestroid_shard_est_wait_seconds{shard="1"} 0
+prestroid_shard_est_wait_seconds{model="default",shard="0"} 0.0015
+prestroid_shard_est_wait_seconds{model="default",shard="1"} 0
+prestroid_shard_est_wait_seconds{model="beta",shard="0"} 0
+# HELP prestroid_shadow_mirrored_total Live requests the staged shadow bundle re-predicted off the hot path.
+# TYPE prestroid_shadow_mirrored_total counter
+prestroid_shadow_mirrored_total{model="beta"} 6
+# HELP prestroid_shadow_dropped_total Mirror candidates skipped because the mirror's bounded concurrency was exhausted.
+# TYPE prestroid_shadow_dropped_total counter
+prestroid_shadow_dropped_total{model="beta"} 1
+# HELP prestroid_shadow_errors_total Mirrored predictions the staged bundle failed.
+# TYPE prestroid_shadow_errors_total counter
+prestroid_shadow_errors_total{model="beta"} 1
+# HELP prestroid_shadow_output_delta_minutes Absolute output delta |staged - live| in CPU-minutes over mirrored predictions.
+# TYPE prestroid_shadow_output_delta_minutes histogram
+prestroid_shadow_output_delta_minutes_bucket{model="beta",le="0.001"} 1
+prestroid_shadow_output_delta_minutes_bucket{model="beta",le="1"} 2
+prestroid_shadow_output_delta_minutes_bucket{model="beta",le="+Inf"} 2
+prestroid_shadow_output_delta_minutes_sum{model="beta"} 0.0025
+prestroid_shadow_output_delta_minutes_count{model="beta"} 2
+# HELP prestroid_shadow_output_delta_max_minutes Worst absolute output delta observed during the shadow roll.
+# TYPE prestroid_shadow_output_delta_max_minutes gauge
+prestroid_shadow_output_delta_max_minutes{model="beta"} 0.002
+# HELP prestroid_shadow_latency_seconds Per-prediction latency of the staged shadow bundle over mirrored requests.
+# TYPE prestroid_shadow_latency_seconds histogram
+prestroid_shadow_latency_seconds_bucket{model="beta",le="0.001"} 1
+prestroid_shadow_latency_seconds_bucket{model="beta",le="0.01"} 2
+prestroid_shadow_latency_seconds_bucket{model="beta",le="+Inf"} 2
+prestroid_shadow_latency_seconds_sum{model="beta"} 0.002
+prestroid_shadow_latency_seconds_count{model="beta"} 2
+# HELP prestroid_shadow_live_latency_seconds Live-model latency of the same mirrored requests, for delta comparison.
+# TYPE prestroid_shadow_live_latency_seconds histogram
+prestroid_shadow_live_latency_seconds_bucket{model="beta",le="0.001"} 1
+prestroid_shadow_live_latency_seconds_bucket{model="beta",le="0.01"} 1
+prestroid_shadow_live_latency_seconds_bucket{model="beta",le="+Inf"} 1
+prestroid_shadow_live_latency_seconds_sum{model="beta"} 0.0005
+prestroid_shadow_live_latency_seconds_count{model="beta"} 1
 `
 
 func TestWritePrometheusGolden(t *testing.T) {
@@ -243,6 +368,10 @@ func TestWritePrometheusParses(t *testing.T) {
 		"prestroid_request_latency_seconds_bucket",
 		"prestroid_shard_generation",
 		"prestroid_reload_rejected_total",
+		"prestroid_model_state",
+		"prestroid_staged_generation",
+		"prestroid_shadow_mirrored_total",
+		"prestroid_shadow_output_delta_minutes_bucket",
 	} {
 		if !names[name] {
 			t.Fatalf("expected metric %s in exposition", name)
@@ -262,12 +391,12 @@ func TestWritePrometheusParses(t *testing.T) {
 // escapes are rejected by Prometheus parsers.
 func TestWritePrometheusEscaping(t *testing.T) {
 	s := goldenSnapshot()
-	s.Engine.ModelName = "we\"ird\\na\tme\n"
+	s.Models[0].Engine.ModelName = "we\"ird\\na\tme\n"
 	var b strings.Builder
 	if err := WritePrometheus(&b, s); err != nil {
 		t.Fatal(err)
 	}
-	want := `prestroid_model_parameters{model="we\"ird\\na` + "\t" + `me\n"} 12345`
+	want := `prestroid_model_parameters{model="default",architecture="we\"ird\\na` + "\t" + `me\n"} 12345`
 	if !strings.Contains(b.String(), want+"\n") {
 		t.Fatalf("escaped series not found; want %q in exposition", want)
 	}

@@ -1,0 +1,66 @@
+package telemetry
+
+// ShadowGroup accumulates the evidence a shadow roll exists to produce: how
+// the staged bundle's outputs and latency compare to the live model's on the
+// same queries. Written by the mirror goroutines with the same lock-free
+// primitives as every other group — a shadow roll must not add contention to
+// the hot path it is observing.
+type ShadowGroup struct {
+	Mirrored Counter // live requests the staged bundle re-predicted
+	Dropped  Counter // mirror candidates skipped: bounded concurrency exhausted
+	Errors   Counter // mirrored predictions the staged bundle failed
+
+	// Delta observes |staged − live| denormalised CPU-minutes, in
+	// micro-minutes (the histogram is integer-bucketed); DeltaMax tracks the
+	// worst divergence seen, in plain minutes.
+	Delta    *Histogram
+	DeltaMax MaxGauge
+
+	// ShadowLatency observes the staged bundle's per-mirror prediction time,
+	// LiveLatency the live prediction time of the requests that were
+	// mirrored — same sample, so the two distributions are comparable.
+	// Both in microseconds.
+	ShadowLatency *Histogram
+	LiveLatency   *Histogram
+}
+
+// DeltaBuckets is the output-delta histogram's bucket layout: exponential
+// from 1 micro-CPU-minute up through ~10^6 minutes, wide enough that any
+// plausible divergence between two trained bundles lands in a real bucket.
+func DeltaBuckets() []int64 { return ExponentialBuckets(1, 2, 40) }
+
+// NewShadowGroup builds a shadow-delta group with the standard buckets.
+func NewShadowGroup() *ShadowGroup {
+	return &ShadowGroup{
+		Delta:         NewHistogram(DeltaBuckets()),
+		ShadowLatency: NewHistogram(LatencyBuckets()),
+		LiveLatency:   NewHistogram(LatencyBuckets()),
+	}
+}
+
+// Snapshot reads the group once for the presenters.
+func (g *ShadowGroup) Snapshot() ShadowSnapshot {
+	return ShadowSnapshot{
+		Mirrored:      g.Mirrored.Load(),
+		Dropped:       g.Dropped.Load(),
+		Errors:        g.Errors.Load(),
+		Delta:         g.Delta.Snapshot(),
+		DeltaMax:      g.DeltaMax.Load(),
+		ShadowLatency: g.ShadowLatency.Snapshot(),
+		LiveLatency:   g.LiveLatency.Snapshot(),
+	}
+}
+
+// ShadowSnapshot is one read of a ShadowGroup. Delta is in micro-CPU-
+// minutes, DeltaMax in minutes, the latency histograms in microseconds.
+type ShadowSnapshot struct {
+	Mirrored int64
+	Dropped  int64
+	Errors   int64
+
+	Delta    HistogramSnapshot
+	DeltaMax float64
+
+	ShadowLatency HistogramSnapshot
+	LiveLatency   HistogramSnapshot
+}

@@ -239,10 +239,31 @@ func (rc *ResponseCounters) Snapshot() []EndpointResponses {
 	return out
 }
 
+// ModelSnapshot is one serving identity's slice of a Snapshot: its roll
+// state, the live engine's full telemetry, and — while a shadow or canary
+// roll is pending — the staged engine's telemetry plus any shadow deltas.
+type ModelSnapshot struct {
+	Name string
+	// State is "live" with no roll pending, else the pending roll's mode
+	// ("shadow" or "canary"); Percent is the canary keyspace share.
+	Percent int
+	State   string
+	// Promotions and Aborts count completed staged-roll resolutions on this
+	// identity over the process lifetime.
+	Promotions int64
+	Aborts     int64
+
+	Engine EngineSnapshot
+	// Staged is the pending bundle's engine (nil when State is "live");
+	// Shadow the mirror's delta telemetry (nil unless State is "shadow").
+	Staged *EngineSnapshot
+	Shadow *ShadowSnapshot
+}
+
 // Snapshot is the single source every presenter consumes: one consistent
-// read of process, front-end and engine telemetry. /v1/stats and /metrics
-// are both pure functions of this struct, which is what keeps the JSON and
-// Prometheus views from drifting.
+// read of process, front-end and per-model engine telemetry. /v1/stats and
+// /metrics are both pure functions of this struct, which is what keeps the
+// JSON and Prometheus views from drifting.
 type Snapshot struct {
 	UptimeSeconds float64
 	GoVersion     string
@@ -255,5 +276,16 @@ type Snapshot struct {
 	Latency   HistogramSnapshot // microseconds
 	Responses []EndpointResponses
 
-	Engine EngineSnapshot
+	// Models holds one entry per registered serving identity, the default
+	// model first. A single-model deployment has exactly one entry.
+	Models []ModelSnapshot
+}
+
+// Default returns the default model's snapshot (the first entry) — the
+// identity whose engine the historical single-model surfaces render.
+func (s Snapshot) Default() ModelSnapshot {
+	if len(s.Models) == 0 {
+		return ModelSnapshot{}
+	}
+	return s.Models[0]
 }

@@ -1,0 +1,289 @@
+#!/usr/bin/env bash
+# End-to-end smoke of multi-model serving and the shadow/canary deployment
+# loop: train two distinguishable full bundles (different feature-table
+# universes), serve BOTH from one daemon — the first as the default
+# identity, the second as the named identity "second" — then walk the full
+# runbook against the default model while "second" keeps serving —
+#
+#   shadow:  stage the second bundle as a shadow roll, assert it serves zero
+#            traffic (every response stays generation 1) while mirroring a
+#            nonzero sample off the hot path, then abort it cleanly;
+#   canary:  stage it again at 20% of the keyspace, assert the observed split
+#            is deterministic per key (two passes route every key
+#            identically) and the staged share is within tolerance of 20%;
+#   promote: resolve the canary, assert the generation moved strictly
+#            forward, every key now answers from the new identity, and the
+#            deployment counters recorded the promote and the abort.
+#
+# Throughout, the second identity answers model-addressed requests and must
+# come out the far side at generation 1 with zero rolls — the registry
+# isolates identities.
+#
+# Run from anywhere: ./scripts/e2e_canary.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+work="$(mktemp -d)"
+bin="$work/prestroidd"
+addr="127.0.0.1:18103"
+base="http://$addr"
+server_pid=""
+
+cleanup() {
+  if [[ -n "$server_pid" ]]; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/prestroidd
+
+echo "== train the live and candidate bundles (different table universes)"
+"$bin" -train -bundle "$work/live.full" -queries 300 2>&1 | tee "$work/train1.log"
+"$bin" -train -bundle "$work/next.full" -queries 300 -tables 220 2>&1 | tee "$work/train2.log"
+
+dim1=$(grep -o 'feature dim [0-9]*' "$work/train1.log" | grep -o '[0-9]*')
+dim2=$(grep -o 'feature dim [0-9]*' "$work/train2.log" | grep -o '[0-9]*')
+if [[ -z "$dim1" || -z "$dim2" || "$dim1" == "$dim2" ]]; then
+  echo "training runs report feature dims '$dim1' and '$dim2'; the bundles are not distinguishable" >&2
+  exit 1
+fi
+echo "feature dim: live = $dim1, candidate = $dim2"
+
+echo "== serve both bundles from one daemon (default + named identity)"
+"$bin" -bundle "$work/live.full" -bundle "second=$work/next.full" \
+  -addr "$addr" -replicas 2 >"$work/server.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+  if [[ "$i" == 100 ]]; then
+    echo "server never became healthy" >&2
+    cat "$work/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "== two named identities serve concurrently"
+curl -fsS "$base/v1/models" | python3 -c '
+import json, sys
+ms = json.load(sys.stdin)["models"]
+assert len(ms) == 2, ms
+assert ms[0]["name"] == "default" and ms[0].get("default") is True, ms[0]
+assert ms[1]["name"] == "second" and not ms[1].get("default"), ms[1]
+assert all(m["state"] == "live" and m["generation"] == 1 for m in ms), ms
+print("ok: /v1/models lists default + second, both live at generation 1")
+'
+second_resp=$(curl -fsS -X POST "$base/v1/predict" \
+  -d '{"sql":"SELECT a FROM tbl1 WHERE a > 5","model":"second"}')
+grep -q '"model":"second"' <<<"$second_resp" || {
+  echo "model-addressed predict did not answer from second: $second_resp" >&2
+  exit 1
+}
+# An unregistered name answers the typed 404, not a silent default fallback.
+code=$(curl -s -o "$work/nomodel.json" -w '%{http_code}' -X POST "$base/v1/predict" \
+  -d '{"sql":"SELECT a FROM tbl1","model":"nope"}')
+if [[ "$code" != 404 ]] || ! grep -q '"code":"unknown_model"' "$work/nomodel.json"; then
+  echo "unknown model answered $code: $(cat "$work/nomodel.json")" >&2
+  exit 1
+fi
+
+# predict_pass fires one request per key (distinct table names map to
+# distinct canonical keys — numeric literals canonicalise away) and records
+# "key generation" lines. Guarded throughout: under `set -euo pipefail` an
+# unguarded grep miss would kill the pass and let assertions pass vacuously.
+keys=120
+predict_pass() {
+  local log="$1" k body gen
+  : >"$log"
+  for k in $(seq 1 "$keys"); do
+    body=$(curl -s -X POST "$base/v1/predict" \
+      -d "{\"sql\":\"SELECT a FROM tbl$k WHERE a > 5\"}") || body=""
+    gen=$(grep -o '"generation":[0-9]*' <<<"$body" | head -1 | cut -d: -f2) || gen=""
+    if [[ -z "$gen" ]]; then
+      echo "key $k: ${body:-<no response>}" >>"$work/failures"
+    else
+      echo "$k $gen" >>"$log"
+    fi
+  done
+}
+
+echo "== stage the candidate as a shadow roll"
+curl -fsS -X POST "$base/v1/reload" \
+  -d "{\"bundle\":\"$work/next.full\",\"mode\":\"shadow\"}" >"$work/shadow.json"
+cat "$work/shadow.json"; echo
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["generation"] == 2, r
+assert r["roll"] == "shadow", r
+' "$work/shadow.json"
+
+curl -fsS "$base/v1/models" | python3 -c '
+import json, sys
+ms = json.load(sys.stdin)["models"]
+assert len(ms) == 2 and ms[0]["name"] == "default", ms
+assert ms[0]["state"] == "shadow", ms
+assert ms[0]["generation"] == 1 and ms[0]["staged_generation"] == 2, ms
+assert ms[1]["state"] == "live" and ms[1]["generation"] == 1, ms[1]
+print("ok: /v1/models shows the staged shadow at generation 2, second untouched")
+'
+
+echo "== shadow serves zero traffic while mirroring a sample"
+predict_pass "$work/shadow_pass"
+if [[ -s "$work/failures" ]]; then
+  echo "failed predict requests under the shadow roll:" >&2
+  head -5 "$work/failures" >&2
+  exit 1
+fi
+if grep -qv ' 1$' "$work/shadow_pass"; then
+  echo "a response under the shadow roll left generation 1:" >&2
+  grep -v ' 1$' "$work/shadow_pass" | head -5 >&2
+  exit 1
+fi
+# The mirror runs off the hot path; give stragglers a moment to land.
+mirrored=0
+for i in $(seq 1 50); do
+  mirrored=$(curl -fsS "$base/v1/stats" | python3 -c '
+import json, sys
+sh = json.load(sys.stdin)["models"][0].get("shadow") or {}
+print(sh.get("mirrored", 0))
+')
+  if [[ "$mirrored" -gt 0 ]]; then break; fi
+  sleep 0.2
+done
+if [[ "$mirrored" -le 0 ]]; then
+  echo "shadow mirrored no predictions" >&2
+  curl -fsS "$base/v1/stats" >&2 || true
+  exit 1
+fi
+echo "ok: $keys requests stayed on generation 1, $mirrored mirrored to the shadow"
+
+echo "== abort the shadow, then stage a 20% canary"
+curl -fsS -X POST "$base/v1/models/default/abort" >/dev/null
+# The abort must leave live serving untouched and clear the staged slot; a
+# second abort has nothing to act on and must answer the typed 409.
+code=$(curl -s -o "$work/abort2.json" -w '%{http_code}' -X POST "$base/v1/models/default/abort")
+if [[ "$code" != 409 ]]; then
+  echo "second abort answered $code, want 409" >&2
+  exit 1
+fi
+grep -q '"code":"no_staged_roll"' "$work/abort2.json" || {
+  echo "409 body lacks the typed error envelope:" >&2
+  cat "$work/abort2.json" >&2
+  exit 1
+}
+
+curl -fsS -X POST "$base/v1/reload" \
+  -d "{\"bundle\":\"$work/next.full\",\"mode\":\"canary\",\"percent\":20}" >"$work/canary.json"
+cat "$work/canary.json"; echo
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["roll"] == "canary" and r["percent"] == 20, r
+assert r["generation"] == 2, r
+' "$work/canary.json"
+
+echo "== canary split: ratio within tolerance, per-key routing stable"
+predict_pass "$work/canary_pass1"
+predict_pass "$work/canary_pass2"
+if [[ -s "$work/failures" ]]; then
+  echo "failed predict requests under the canary:" >&2
+  head -5 "$work/failures" >&2
+  exit 1
+fi
+python3 - "$work/canary_pass1" "$work/canary_pass2" <<'PY'
+import sys
+passes = []
+for path in sys.argv[1:]:
+    routes = {}
+    for line in open(path):
+        key, gen = line.split()
+        routes[key] = int(gen)
+    assert routes, f"{path}: pass recorded no responses"
+    passes.append(routes)
+a, b = passes
+assert a.keys() == b.keys(), "passes covered different keys"
+for key in a:
+    assert a[key] == b[key], f"key {key} flapped: {a[key]} then {b[key]}"
+staged = sum(1 for g in a.values() if g == 2)
+total = len(a)
+share = staged / total
+# 120 keys at a 20% hash split: accept 8%..36% — wide enough for hash
+# variance, tight enough to catch 0%, 100% or a 50/50 split.
+assert 0.08 <= share <= 0.36, f"canary split {staged}/{total} = {share:.0%}, want ~20%"
+print(f"ok: split {staged}/{total} = {share:.0%}, stable across passes")
+PY
+
+echo "== promote: generation moves strictly forward for every key"
+curl -fsS -X POST "$base/v1/models/default/promote" >"$work/promote.json"
+cat "$work/promote.json"; echo
+python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["action"] == "promote" and r["generation"] == 2, r
+' "$work/promote.json"
+
+predict_pass "$work/promoted_pass"
+if grep -qv ' 2$' "$work/promoted_pass"; then
+  echo "a response after the promote left generation 2:" >&2
+  grep -v ' 2$' "$work/promoted_pass" | head -5 >&2
+  exit 1
+fi
+python3 - "$work/canary_pass2" "$work/promoted_pass" <<'PY'
+import sys
+before = {k: int(g) for k, g in (l.split() for l in open(sys.argv[1]))}
+after = {k: int(g) for k, g in (l.split() for l in open(sys.argv[2]))}
+for key, gen in after.items():
+    assert gen >= before.get(key, 1), f"key {key} went backwards: {before[key]} -> {gen}"
+print("ok: per-key generations monotone across the promote")
+PY
+
+curl -fsS "$base/v1/models" | python3 -c '
+import json, sys
+ms = json.load(sys.stdin)["models"]
+m = ms[0]
+assert m["state"] == "live" and m["generation"] == 2, m
+assert m["promotions"] == 1 and m["aborts"] == 1, m
+s = ms[1]
+assert s["state"] == "live" and s["generation"] == 1, s
+assert s["reloads"] == 0 and s["promotions"] == 0 and s["aborts"] == 0, s
+print("ok: default live at generation 2 (promotions=1 aborts=1); second untouched at 1")
+'
+# The second identity still answers after the default walked the whole
+# shadow/canary/promote cycle next to it.
+second_resp=$(curl -fsS -X POST "$base/v1/predict" \
+  -d '{"sql":"SELECT a FROM tbl1 WHERE a > 5","model":"second"}')
+grep -q '"model":"second"' <<<"$second_resp" && grep -q '"generation":1' <<<"$second_resp" || {
+  echo "second identity disturbed by the default roll cycle: $second_resp" >&2
+  exit 1
+}
+curl -fsS "$base/v1/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+# The one error on the books is the deliberate unknown-model probe (404).
+assert s["errors"] == 1, s["errors"]
+assert s["weight_generation"] == 2, s["weight_generation"]
+m = s["models"][0]
+assert m["state"] == "live" and "staged" not in m, m
+assert s["models"][1]["name"] == "second", s["models"][1]
+print("ok: stats agree —", s["requests"], "requests, generation 2, both models reported")
+'
+
+echo "== graceful shutdown"
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "daemon did not exit cleanly on SIGTERM" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+server_pid=""
+grep -q "draining" "$work/server.log" || {
+  echo "daemon exited without draining" >&2
+  cat "$work/server.log" >&2
+  exit 1
+}
+
+echo "e2e canary/shadow deployment passed"

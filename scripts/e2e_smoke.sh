@@ -122,15 +122,16 @@ stats = json.load(open(sys.argv[2]))
 assert series["prestroid_requests_total"] <= stats["requests"], \
     (series["prestroid_requests_total"], stats["requests"])
 assert series["prestroid_requests_total"] > 0, "no requests visible under load"
-assert series["prestroid_generation"] <= stats["weight_generation"]
+assert series['prestroid_generation{model="default"}'] <= stats["weight_generation"]
 shard_hits = sum(v for k, v in series.items()
                  if k.startswith("prestroid_shard_cache_hits_total{"))
 assert shard_hits <= stats["cache_hits"], (shard_hits, stats["cache_hits"])
-assert int(series["prestroid_shards"]) == stats["replicas"]
+assert int(series['prestroid_shards{model="default"}']) == stats["replicas"]
 assert series["prestroid_go_goroutines"] > 0
 assert series["prestroid_uptime_seconds"] > 0
+shards = int(series['prestroid_shards{model="default"}'])
 print(f"ok: {len(series)} series parsed; requests {int(series['prestroid_requests_total'])}"
-      f" <= {stats['requests']}, {int(series['prestroid_shards'])} shards")
+      f" <= {stats['requests']}, {shards} shards")
 PY
 
 curl -fsS -X POST "$base/v1/reload" -d "{\"weights\":\"$work/gen2.bin\"}" >"$work/reload.json"
@@ -165,11 +166,11 @@ print("ok: generation 2 on", len(s["shards"]), "shards after", s["requests"], "r
 # file rather than piping into grep -q: under pipefail, grep exiting at the
 # first match makes curl fail with EPIPE on a large enough exposition.
 curl -fsS "$base/metrics" >"$work/metrics_after.txt"
-grep -qx "prestroid_reloads_total 1" "$work/metrics_after.txt" || {
+grep -qx "prestroid_reloads_total{model=\"default\"} 1" "$work/metrics_after.txt" || {
   echo "/metrics does not report the completed roll" >&2
   exit 1
 }
-grep -qx "prestroid_generation 2" "$work/metrics_after.txt" || {
+grep -qx "prestroid_generation{model=\"default\"} 2" "$work/metrics_after.txt" || {
   echo "/metrics does not report generation 2" >&2
   exit 1
 }
