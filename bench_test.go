@@ -21,6 +21,7 @@ import (
 	"prestroid/internal/nn"
 	"prestroid/internal/otp"
 	"prestroid/internal/serve"
+	"prestroid/internal/sqlparse"
 	"prestroid/internal/subtree"
 	"prestroid/internal/tensor"
 	"prestroid/internal/treecnn"
@@ -414,8 +415,11 @@ func BenchmarkShardedDistinctTemplates(b *testing.B) {
 			cfg.CacheSize = 0 // keys never repeat; skip cache bookkeeping
 			// Zero-reuse baseline: with the sub-tree cache on, the OOV
 			// fallback makes unseen constants featurize identically, so even
-			// "distinct" constants would replay pooled conv outputs.
+			// "distinct" constants would replay pooled conv outputs — and the
+			// shared template would let the prepared-template front end skip
+			// the parse+encode this benchmark exists to measure.
 			cfg.SubtreeCacheSize = 0
+			cfg.TemplateCacheSize = 0
 			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
 			defer eng.Close()
 			driveClients(b, eng.PredictSQL, distinctSQL)
@@ -445,9 +449,110 @@ func BenchmarkShardedOverlappingTemplates(b *testing.B) {
 			cfg := serve.DefaultConfig()
 			cfg.Replicas = replicas
 			cfg.CacheSize = 0 // distinct canonical keys; only sub-tree reuse helps
+			// The shared template would also hit the prepared-template cache;
+			// off, so the win measured here is the sub-tree cache's alone.
+			cfg.TemplateCacheSize = 0
 			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
 			defer eng.Close()
 			driveClients(b, eng.PredictSQL, overlappingSQL)
+		})
+	}
+}
+
+// BenchmarkFrontEnd isolates the request front end — everything between raw
+// SQL and conv-ready trees, model forward excluded. full is the miss path
+// (lex, parse, plan, recast, sub-tree sample, flatten, encode); rebind is
+// the prepared-template hit path (one template-extract lexer pass, literal
+// rebind of the cached skeleton statement, plan construction, encoding
+// rebind). The spread between the two is what every template-cache hit
+// saves per request before the model even runs.
+func BenchmarkFrontEnd(b *testing.B) {
+	pred := servePredictor(b)
+	m, ok := pred.Model.(*models.Prestroid)
+	if !ok {
+		b.Fatalf("serve predictor wraps %T, want *models.Prestroid", pred.Model)
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan, err := logicalplan.PlanSQL(distinctSQL(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.EncodeTrace(&workload.Trace{SQL: "bench", Plan: plan, Template: -1})
+		}
+	})
+	b.Run("rebind", func(b *testing.B) {
+		stmt, err := sqlparse.Parse(distinctSQL(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan0, err := logicalplan.Plan(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := m.BuildTemplateEncoding(plan0)
+		if enc == nil {
+			b.Fatal("model did not produce a template encoding")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, lits, ok := sqlparse.ExtractTemplate(distinctSQL(int64(i)))
+			if !ok {
+				b.Fatal("template extraction failed")
+			}
+			bound, err := stmt.Rebind(lits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := logicalplan.Plan(bound)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := enc.Rebind(plan); !ok {
+				b.Fatal("encoding rebind failed")
+			}
+		}
+	})
+}
+
+// analyticSQL returns the i-th query of a unique-literal shared-template
+// workload shaped like the paper's analytic traces: a 3-way join with a
+// predicate list and GROUP BY, where only the constants vary request to
+// request. Canonical keys never repeat (the prediction cache absorbs
+// nothing) but every query shares one template.
+func analyticSQL(i int64) string {
+	return fmt.Sprintf(
+		"SELECT a.x, COUNT(*) AS n FROM t1 a JOIN t2 b ON a.id = b.id "+
+			"JOIN t3 c ON b.id = c.id WHERE a.x > %d AND b.y < %d AND c.z = %d "+
+			"AND a.w BETWEEN %d AND %d GROUP BY a.x ORDER BY n DESC LIMIT %d",
+		i, i%89+1, i%13, i%31, i%31+50, i%19+1)
+}
+
+// BenchmarkShardedTemplateCache is the prepared-template front end's
+// headline comparison: the unique-literal shared-template analytic workload
+// with the template cache off vs on, everything else the shipped serving
+// configuration. Off, every request pays the full front-end pass; on, every
+// request after the first is a literal rebind over the cached skeleton and
+// featurization. The acceptance gate wants >= 1.5x on-over-off throughput
+// under GOMAXPROCS=4 (gated by scripts/bench_record.sh), with answers
+// byte-identical — which BenchmarkServePredict's cross-check and the serve
+// package's property tests pin.
+func BenchmarkShardedTemplateCache(b *testing.B) {
+	pred := servePredictor(b)
+	for _, leg := range []struct {
+		name string
+		size int
+	}{{"off", 0}, {"on", serve.DefaultConfig().TemplateCacheSize}} {
+		b.Run(leg.name, func(b *testing.B) {
+			cfg := serve.DefaultConfig()
+			cfg.Replicas = 4
+			cfg.CacheSize = 0 // keys never repeat; skip cache bookkeeping
+			cfg.TemplateCacheSize = leg.size
+			eng := serve.NewShardedEngine(serve.Replicas(pred, cfg.Replicas), cfg)
+			defer eng.Close()
+			driveClients(b, eng.PredictSQL, analyticSQL)
 		})
 	}
 }
@@ -578,6 +683,7 @@ func BenchmarkShardedDistinctTemplatesQuantized(b *testing.B) {
 			cfg.Replicas = replicas
 			cfg.CacheSize = 0
 			cfg.SubtreeCacheSize = 0
+			cfg.TemplateCacheSize = 0
 			cfg.Quantize = true
 			eng := serve.NewShardedEngine(serve.Replicas(pred, replicas), cfg)
 			defer eng.Close()

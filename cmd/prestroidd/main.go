@@ -41,10 +41,12 @@
 // many model replicas (each with its own batcher goroutine and cache
 // segment) the dispatcher fans coalesced batches out to, -max-batch and
 // -max-wait tune each shard's micro-batching coalescer, -cache-size the
-// total LRU budget over canonicalized SQL, and -subtree-cache-size the total
+// total LRU budget over canonicalized SQL, -subtree-cache-size the total
 // budget of pooled sub-tree convolution outputs reused across structurally
-// overlapping plans (see the serve-layer, performance and operations
-// sections of the README).
+// overlapping plans, and -template-cache-size the total budget of prepared
+// templates whose parse and featurization are rebound per request instead
+// of recomputed (see the serve-layer, performance and operations sections
+// of the README).
 //
 // Overload protection is opt-in: -max-est-wait bounds the queue wait the
 // service will accept before shedding with 429 + Retry-After (estimated as
@@ -143,6 +145,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", defaults.MaxWait, "max time the coalescer holds an open batch waiting for it to fill")
 	cacheSize := flag.Int("cache-size", defaults.CacheSize, "prediction-cache entries keyed by canonicalized SQL, split across shards (0 disables)")
 	subtreeCacheSize := flag.Int("subtree-cache-size", defaults.SubtreeCacheSize, "pooled sub-tree convolution outputs cached per content hash, split across shards (0 disables)")
+	templateCacheSize := flag.Int("template-cache-size", defaults.TemplateCacheSize, "prepared query templates cached for literal rebinding, split across shards (0 disables)")
 	replicas := flag.Int("replicas", defaults.Replicas, "model replicas / engine shards the dispatcher hashes canonical SQL across (<=1 disables sharding)")
 	maxEstWait := flag.Duration("max-est-wait", 0, "bounded-latency admission target: shed with 429 once every candidate shard's estimated queue wait (depth × EWMA service time) exceeds this (0 disables shedding)")
 	clientQPS := flag.Float64("client-qps", 0, "per-client request rate on the serving endpoints, keyed by bearer token or remote IP (0 disables quotas)")
@@ -152,7 +155,8 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxWait: *maxWait, CacheSize: *cacheSize,
-		SubtreeCacheSize: *subtreeCacheSize, Replicas: *replicas,
+		SubtreeCacheSize: *subtreeCacheSize, TemplateCacheSize: *templateCacheSize,
+		Replicas:   *replicas,
 		MaxEstWait: *maxEstWait, Quantize: *quantize}
 	paths := bundlePaths{pipe: *pipePath, weights: *weightPath, bundles: bundles.specs}
 	quota := quotaConfig{qps: *clientQPS, burst: *clientBurst}
@@ -241,8 +245,8 @@ func run(addr string, doTrain bool, paths bundlePaths, queries, tables int, cfg 
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d, subtree cache %d)",
-		preds[0].Pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize)
+	log.Printf("serving %s on %s (replicas %d, max-batch %d, max-wait %s, cache %d, subtree cache %d, template cache %d)",
+		preds[0].Pred.Model.Name(), addr, srv.Engine().Shards(), cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.SubtreeCacheSize, cfg.TemplateCacheSize)
 	for i, en := range srv.Models().Entries() {
 		role := ""
 		if i == 0 {

@@ -192,6 +192,16 @@ type EngineStats struct {
 	SubtreeEntries int     `json:"subtree_cache_entries"`
 	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
 
+	// The template_cache_* block covers the per-shard prepared-template front
+	// end: hits are requests whose lex/parse/plan/featurize pass was replaced
+	// by a literal rebind over a cached template, misses are full front-end
+	// passes. Entries and bytes are sampled gauges summed across shards.
+	TemplateHits    int64   `json:"template_cache_hits"`
+	TemplateMisses  int64   `json:"template_cache_misses"`
+	TemplateHitRate float64 `json:"template_cache_hit_rate"`
+	TemplateEntries int     `json:"template_cache_entries"`
+	TemplateBytes   int64   `json:"template_cache_bytes"`
+
 	// Shed counts queries refused by bounded-wait admission (429), Expired
 	// counts queries dropped because their deadline passed (504), and
 	// MaxEstWaitMillis is the worst per-shard wait estimate at snapshot time
@@ -227,19 +237,23 @@ type EngineStats struct {
 // one shard's batch and cache counters plus its queue depth at snapshot
 // time, so operators can see skew across the dispatcher's hash space.
 type ShardStats struct {
-	Shard          int     `json:"shard"`
-	Batches        int64   `json:"batches"`
-	Coalesced      int64   `json:"coalesced"`
-	AvgBatchSize   float64 `json:"avg_batch_size"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEntries   int     `json:"cache_entries"`
-	SubtreeHits    int64   `json:"subtree_cache_hits"`
-	SubtreeMisses  int64   `json:"subtree_cache_misses"`
-	SubtreeEntries int     `json:"subtree_cache_entries"`
-	SubtreeBytes   int64   `json:"subtree_cache_bytes"`
-	Shed           int64   `json:"shed"`
-	Expired        int64   `json:"expired"`
+	Shard           int     `json:"shard"`
+	Batches         int64   `json:"batches"`
+	Coalesced       int64   `json:"coalesced"`
+	AvgBatchSize    float64 `json:"avg_batch_size"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEntries    int     `json:"cache_entries"`
+	SubtreeHits     int64   `json:"subtree_cache_hits"`
+	SubtreeMisses   int64   `json:"subtree_cache_misses"`
+	SubtreeEntries  int     `json:"subtree_cache_entries"`
+	SubtreeBytes    int64   `json:"subtree_cache_bytes"`
+	TemplateHits    int64   `json:"template_cache_hits"`
+	TemplateMisses  int64   `json:"template_cache_misses"`
+	TemplateEntries int     `json:"template_cache_entries"`
+	TemplateBytes   int64   `json:"template_cache_bytes"`
+	Shed            int64   `json:"shed"`
+	Expired         int64   `json:"expired"`
 	// ServiceTimeMillis is the EWMA per-query drain time of the shard's
 	// batcher; EstWaitMillis is queue depth × that EWMA — the admission
 	// controller's live signal, sampled at snapshot time.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"prestroid/internal/dataset"
+	"prestroid/internal/logicalplan"
 	"prestroid/internal/nn"
 	"prestroid/internal/otp"
 	"prestroid/internal/subtree"
@@ -185,10 +186,26 @@ func (m *Prestroid) Prepare(traces []*workload.Trace) {
 // immutable state (config, encoder tables, Word2Vec vectors) and allocates
 // fresh trees, so it is safe to call from many goroutines at once.
 func (m *Prestroid) encodeTrace(tr *workload.Trace) []*treecnn.Tree {
-	root := otp.Recast(tr.Plan)
+	_, trees, _ := m.encodePlan(tr.Plan)
+	return trees
+}
+
+// encodePlan is the single recast/sample/flatten path behind encodeTrace and
+// the prepared-template front end. Besides the flattened trees it returns the
+// recast root and, per tree, the O-T-P node that produced each feature row —
+// the correspondence the template rebind path needs to re-featurize only
+// literal-sensitive rows. Sub-tree sampling reads structure only (Left/Right
+// pointers), so isomorphic recasts of two queries sharing a template yield
+// row lists pointing at corresponding node positions.
+func (m *Prestroid) encodePlan(plan *logicalplan.Node) (*otp.Node, []*treecnn.Tree, [][]*otp.Node) {
+	root := otp.Recast(plan)
 	qctx := m.pipe.Enc.NewQueryContext(root)
 	if m.cfg.K <= 0 {
-		return []*treecnn.Tree{treecnn.FlattenFull(root, m.pipe.Enc, qctx)}
+		// Full-tree model: one tree over the BFS node order with every node
+		// voting (flatten treats nil votes as all-1, matching FlattenFull).
+		nodes := treecnn.BFSNodes(root)
+		full := treecnn.FlattenSubTree(subtree.SubTree{Nodes: nodes}, m.pipe.Enc, qctx)
+		return root, []*treecnn.Tree{full}, [][]*otp.Node{nodes}
 	}
 	var samples []subtree.SubTree
 	switch m.cfg.Sampling {
@@ -209,6 +226,7 @@ func (m *Prestroid) encodeTrace(tr *workload.Trace) []*treecnn.Tree {
 		samples = subtree.Select(samples, m.cfg.K)
 	}
 	trees := make([]*treecnn.Tree, 0, len(samples))
+	rows := make([][]*otp.Node, 0, len(samples))
 	for _, st := range samples {
 		ft := treecnn.FlattenSubTree(st, m.pipe.Enc, qctx)
 		if m.cfg.DisableVotes {
@@ -220,8 +238,9 @@ func (m *Prestroid) encodeTrace(tr *workload.Trace) []*treecnn.Tree {
 			ft.Rehash()
 		}
 		trees = append(trees, ft)
+		rows = append(rows, st.Nodes)
 	}
-	return trees
+	return root, trees, rows
 }
 
 // adopt installs pre-computed encodings in the cache. Like every other

@@ -1,0 +1,168 @@
+package models
+
+import (
+	"testing"
+
+	"prestroid/internal/logicalplan"
+	"prestroid/internal/treecnn"
+)
+
+// templatePairs are (skeleton, variant) queries sharing a template — equal up
+// to literal values — over the Grab-style schema the test pipeline is fit on.
+// The last pair deliberately uses a table and values outside the training
+// vocabulary so the OOV fallback chain is exercised on both encode paths.
+var templatePairs = []struct{ skeleton, variant string }{
+	{
+		"SELECT city_id FROM bookings WHERE fare > 10 AND city_id = 3 ORDER BY fare LIMIT 5",
+		"SELECT city_id FROM bookings WHERE fare > 250 AND city_id = 44 ORDER BY fare LIMIT 50",
+	},
+	{
+		"SELECT b.fare FROM bookings b JOIN drivers d ON b.driver_id = d.id WHERE d.rating BETWEEN 1 AND 3 AND b.status = 'done'",
+		"SELECT b.fare FROM bookings b JOIN drivers d ON b.driver_id = d.id WHERE d.rating BETWEEN 4 AND 5 AND b.status = 'cancelled'",
+	},
+	{
+		"SELECT x FROM zz_unknown WHERE y IN (1, 2) AND zzq_token LIKE 'abc%' LIMIT 2",
+		"SELECT x FROM zz_unknown WHERE y IN (7, 9) AND zzq_token LIKE 'xyzzy%' LIMIT 9",
+	},
+}
+
+func assertTreesIdentical(t *testing.T, label string, got, want []*treecnn.Tree) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d trees, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Hash != w.Hash {
+			t.Fatalf("%s: tree %d hash %x, want %x", label, i, g.Hash, w.Hash)
+		}
+		if len(g.Feats.Data) != len(w.Feats.Data) {
+			t.Fatalf("%s: tree %d feature size mismatch", label, i)
+		}
+		for j := range w.Feats.Data {
+			if g.Feats.Data[j] != w.Feats.Data[j] {
+				t.Fatalf("%s: tree %d feature %d = %v, want %v", label, i, j, g.Feats.Data[j], w.Feats.Data[j])
+			}
+		}
+		for j := range w.Left {
+			if g.Left[j] != w.Left[j] || g.Right[j] != w.Right[j] {
+				t.Fatalf("%s: tree %d structure diverges at %d", label, i, j)
+			}
+		}
+		for j := range w.Votes {
+			if g.Votes[j] != w.Votes[j] {
+				t.Fatalf("%s: tree %d vote %d = %v, want %v", label, i, j, g.Votes[j], w.Votes[j])
+			}
+		}
+	}
+}
+
+// TestTemplateRebindByteIdentical is the core template-cache guarantee: an
+// encoding built from a skeleton query, rebound to a literal variant's plan,
+// must reproduce the full encode path byte for byte — in the default Word2Vec
+// mode, the HashedPredicates ablation, and the full-tree (K=0) layout.
+func TestTemplateRebindByteIdentical(t *testing.T) {
+	b := bed(t)
+	hashedEnc := *b.pipe.Enc
+	hashedEnc.HashedPredicates = true
+	hashedPipe := &Pipeline{W2V: b.pipe.W2V, Enc: &hashedEnc}
+	cases := []struct {
+		name string
+		pipe *Pipeline
+		k    int
+	}{
+		{"w2v-subtree", b.pipe, 5},
+		{"w2v-full", b.pipe, 0},
+		{"hashed-subtree", hashedPipe, 5},
+		{"hashed-full", hashedPipe, 0},
+	}
+	for _, tc := range cases {
+		cfg := DefaultPrestroidConfig(15, tc.k)
+		cfg.ConvWidths = []int{8}
+		cfg.DenseWidths = []int{8}
+		m := NewPrestroid(cfg, tc.pipe)
+		for _, pair := range templatePairs {
+			skel, err := logicalplan.PlanSQL(pair.skeleton)
+			if err != nil {
+				t.Fatalf("%s: plan skeleton: %v", tc.name, err)
+			}
+			variant, err := logicalplan.PlanSQL(pair.variant)
+			if err != nil {
+				t.Fatalf("%s: plan variant: %v", tc.name, err)
+			}
+			te := m.BuildTemplateEncoding(skel)
+			if te.Bytes() <= 0 {
+				t.Fatalf("%s: encoding reports no bytes", tc.name)
+			}
+			// Rebinding to the variant must match a full encode of the variant.
+			got, ok := te.Rebind(variant)
+			if !ok {
+				t.Fatalf("%s: rebind rejected a genuine template match", tc.name)
+			}
+			_, want, _ := m.encodePlan(variant)
+			assertTreesIdentical(t, tc.name+"/variant", got, want)
+			// And rebinding back to the skeleton must reproduce the original.
+			self, ok := te.Rebind(skel)
+			if !ok {
+				t.Fatalf("%s: self-rebind rejected", tc.name)
+			}
+			_, wantSelf, _ := m.encodePlan(skel)
+			assertTreesIdentical(t, tc.name+"/self", self, wantSelf)
+		}
+	}
+}
+
+// TestTemplateRebindRejectsShapeMismatch: a plan whose recast shape differs
+// from the template's must be rejected, never mis-featurized. Only the
+// sensitive (hashed) mode re-walks the plan; the insensitive mode's trees are
+// correct for any literal variant by construction.
+func TestTemplateRebindRejectsShapeMismatch(t *testing.T) {
+	b := bed(t)
+	e := *b.pipe.Enc
+	e.HashedPredicates = true
+	pipe := &Pipeline{W2V: b.pipe.W2V, Enc: &e}
+	cfg := DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{8}
+	cfg.DenseWidths = []int{8}
+	m := NewPrestroid(cfg, pipe)
+
+	skel, err := logicalplan.PlanSQL("SELECT a FROM t JOIN u ON t.id = u.id WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := logicalplan.PlanSQL("SELECT a FROM t WHERE a > 1 AND b < 2 OR a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := m.BuildTemplateEncoding(skel)
+	if _, ok := te.Rebind(other); ok {
+		t.Fatal("rebind accepted a structurally different plan")
+	}
+}
+
+// TestTemplateEncodingSharedTreesStable: in the insensitive mode Rebind hands
+// out the cached trees themselves; two rebinds must return the same trees so
+// conv-cache hashes replay across literal variants.
+func TestTemplateEncodingSharedTreesStable(t *testing.T) {
+	b := bed(t)
+	cfg := DefaultPrestroidConfig(15, 5)
+	cfg.ConvWidths = []int{8}
+	cfg.DenseWidths = []int{8}
+	m := NewPrestroid(cfg, b.pipe)
+	skel, err := logicalplan.PlanSQL(templatePairs[0].skeleton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant, err := logicalplan.PlanSQL(templatePairs[0].variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := m.BuildTemplateEncoding(skel)
+	a, _ := te.Rebind(skel)
+	c, _ := te.Rebind(variant)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("insensitive rebind should share the cached trees")
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"prestroid/internal/logicalplan"
 	"prestroid/internal/models"
+	"prestroid/internal/sqlparse"
 	"prestroid/internal/telemetry"
 	"prestroid/internal/workload"
 )
@@ -41,6 +42,13 @@ type Config struct {
 	// mutex. It only takes effect when the model consults a conv cache
 	// (models implementing SetConvCache).
 	SubtreeCacheSize int
+	// TemplateCacheSize is the total number of prepared-template entries the
+	// front-end cache retains, keyed by the query's literal-stripped template;
+	// 0 disables it. A hit replaces the lex/parse/plan/featurize pipeline with
+	// a literal rebind over the cached skeleton and encoding, producing
+	// byte-identical predictions. Like the other budgets, a ShardedEngine
+	// splits it evenly across shards.
+	TemplateCacheSize int
 	// MaxEstWait is the bounded-latency admission target: a query whose
 	// estimated wait (queue depth × EWMA service time) exceeds it on every
 	// candidate shard is shed instead of enqueued. 0 (the default) disables
@@ -69,7 +77,7 @@ var envQuantize = func() bool {
 // DefaultConfig mirrors the prestroidd defaults.
 func DefaultConfig() Config {
 	return Config{MaxBatch: 32, MaxWait: 500 * time.Microsecond, CacheSize: 4096,
-		Replicas: DefaultReplicas(), SubtreeCacheSize: 4096}
+		Replicas: DefaultReplicas(), SubtreeCacheSize: 4096, TemplateCacheSize: 4096}
 }
 
 // concurrentEncoder is the optional model interface that splits Prepare into
@@ -100,9 +108,17 @@ type predictJob struct {
 	// jobs whose ctx has ended before the model sees them.
 	ctx   context.Context
 	trace *workload.Trace
-	key   string             // canonical SQL, for single-flight dedup in flush
-	enc   any                // filled by the concurrent encode stage
-	done  chan predictResult // buffered; receives the prediction + generation
+	key   string // canonical SQL, for single-flight dedup in flush
+	// enc carries the trace's feature encoding when something computed it
+	// ahead of the model call: the flush's concurrent encode stage fills it
+	// (encGen stays 0 — validity is "the model that encoded is the model that
+	// predicts"), or the template front end submits it pre-filled with encGen
+	// set to the weight generation its cached featurization belongs to. A
+	// flush adopts an encoding only when its validity condition holds;
+	// otherwise Prepare re-encodes from the trace's plan, byte-identically.
+	enc    any
+	encGen int64
+	done   chan predictResult // buffered; receives the prediction + generation
 }
 
 // Engine is the batched, concurrent inference front end around a Predictor.
@@ -121,6 +137,12 @@ type Engine struct {
 	// into the replica at construction (and into its successor on a full
 	// replica swap); nil when disabled or when the model takes no conv cache.
 	convCache *subtreeCache
+
+	// tmplCache is the shard's prepared-template front-end segment; nil when
+	// disabled. Unlike convCache it is engine-owned end to end — the model
+	// never sees it — so it needs no installation on replica swaps, only the
+	// same under-lock invalidation as the other segments.
+	tmplCache *templateCache
 
 	jobs chan *predictJob
 	quit chan struct{}
@@ -202,6 +224,12 @@ func newEngineAt(pred *Predictor, cfg Config, gen int64) *Engine {
 			cs.SetConvCache(e.convCache)
 		}
 	}
+	if cfg.TemplateCacheSize > 0 {
+		// No model probe: skeleton-only entries already skip lex/parse/plan,
+		// so the cache pays off even for models without rebindable encodings.
+		e.tmplCache = newTemplateCache(cfg.TemplateCacheSize, gen,
+			&e.tel.TemplateHits, &e.tel.TemplateMisses)
+	}
 	if cfg.Quantize || envQuantize {
 		if q, ok := pred.Model.(models.Quantizer); ok {
 			e.applyQuantization(q)
@@ -241,6 +269,115 @@ func (e *Engine) PredictSQL(sql string) (Prediction, error) {
 	return p, err
 }
 
+// frontEnd is the result of resolving one query through the prepared-template
+// cache: the logical plan (always exact — on a hit it is planned from the
+// rebound statement, carrying the request's own literals), the pre-rebound
+// feature encoding when the cached entry had one (with the generation it
+// belongs to), and the deposit the caller should make on a miss.
+type frontEnd struct {
+	plan   *logicalplan.Node
+	enc    any                  // pre-rebound trees; nil when unavailable
+	encGen int64                // weight generation enc belongs to; 0 when enc is nil
+	tkey   string               // template key to deposit under; "" = no deposit
+	stmt   *sqlparse.SelectStmt // parsed skeleton to deposit
+}
+
+// resolveSQL turns sql into a logical plan through the template cache. On a
+// hit it skips lexing and parsing entirely: the cached skeleton is rebound
+// with the query's literal vector (extracted in the same single lexer pass
+// that produced the key) and replanned, so every downstream consumer — the
+// batcher, the serialised fallback, a post-roll re-encode — sees a plan
+// byte-identical to what the full parse would have built. Errors are
+// byte-identical to the uncached path's: extraction failures and rebind
+// mismatches (impossible for a genuine template match, but handled
+// defensively) fall through to the full parse, which reproduces the exact
+// error the caller would have seen without a cache.
+func (e *Engine) resolveSQL(sql string) (frontEnd, error) {
+	if e.tmplCache == nil {
+		plan, err := logicalplan.PlanSQL(sql)
+		return frontEnd{plan: plan}, err
+	}
+	tkey, lits, ok := sqlparse.ExtractTemplate(sql)
+	if !ok {
+		plan, err := logicalplan.PlanSQL(sql)
+		return frontEnd{plan: plan}, err
+	}
+	if ent, gen, ok := e.tmplCache.Get(tkey); ok {
+		if stmt, err := ent.stmt.Rebind(lits); err == nil {
+			if plan, err := logicalplan.Plan(stmt); err == nil {
+				fe := frontEnd{plan: plan}
+				if ent.enc != nil {
+					if trees, ok := ent.enc.Rebind(plan); ok {
+						fe.enc = trees
+						fe.encGen = gen
+					}
+				} else {
+					// Skeleton-only entry (explain-warmed): keep the deposit
+					// fields so a prediction taking this hit enriches it with a
+					// rebindable featurization — Put upgrades in place.
+					fe.tkey, fe.stmt = tkey, ent.stmt
+				}
+				return fe, nil
+			}
+		}
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return frontEnd{}, err
+	}
+	plan, err := logicalplan.Plan(stmt)
+	if err != nil {
+		return frontEnd{}, err
+	}
+	return frontEnd{plan: plan, tkey: tkey, stmt: stmt}, nil
+}
+
+// depositTemplate lands a miss's skeleton — and, when the model supports
+// rebindable encodings, its featurization of the plan — in the template
+// cache, tagged with the generation the prediction ran under. It runs on the
+// handler goroutine after the prediction returned: the featurization is the
+// one-time cost that turns every later sight of the template into a rebind.
+// If a roll landed since the prediction, the deposit is skipped (or dropped
+// by Put's generation guard if it lands mid-build); the entry would describe
+// a retired identity.
+func (e *Engine) depositTemplate(fe frontEnd, gen int64) {
+	if e.tmplCache == nil || fe.tkey == "" {
+		return
+	}
+	e.pred.mu.Lock()
+	m := e.pred.Model
+	cur := e.weightGen.Load()
+	e.pred.mu.Unlock()
+	if cur != gen {
+		return
+	}
+	var te *models.TemplateEncoding
+	if tm, ok := m.(templateEncoder); ok {
+		// Built outside any lock: BuildTemplateEncoding reads only the
+		// pipeline's immutable tables, and a racing replica swap both bumps
+		// the generation (failing the Put guard) and leaves the old pipeline
+		// intact for this build to finish against.
+		te = tm.BuildTemplateEncoding(fe.plan)
+	}
+	e.tmplCache.Put(fe.tkey, fe.stmt, te, gen)
+}
+
+// PlanOnly resolves sql to its logical plan through the same template front
+// end as prediction — a hit skips lex and parse — depositing skeleton-only
+// entries on a miss so explain traffic warms the cache for predictions (and
+// vice versa). This is the explain path's entry point; it never touches the
+// batcher or the model.
+func (e *Engine) PlanOnly(sql string) (*logicalplan.Node, error) {
+	fe, err := e.resolveSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	if fe.tkey != "" && e.tmplCache != nil {
+		e.tmplCache.PutStmt(fe.tkey, fe.stmt)
+	}
+	return fe.plan, nil
+}
+
 // predictKey is PredictSQL with the canonical key already computed: the
 // sharded dispatcher hashes the key to pick a shard, then hands it down so
 // canonicalisation runs exactly once per request. Alongside the prediction
@@ -252,22 +389,23 @@ func (e *Engine) predictKey(sql, key string) (Prediction, int64, error) {
 			return p, g, nil
 		}
 	}
-	plan, err := logicalplan.PlanSQL(sql)
+	fe, err := e.resolveSQL(sql)
 	if err != nil {
 		return Prediction{}, 0, fmt.Errorf("parse: %w", err)
 	}
-	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	y, gen, norm := e.submit(tr, key)
+	tr := &workload.Trace{SQL: sql, Plan: fe.plan, Template: -1}
+	y, gen, norm := e.submit(tr, key, fe.enc, fe.encGen)
 	p := Prediction{
 		CPUMinutes: norm.Denormalize(y),
 		Normalized: y,
-		PlanNodes:  plan.NodeCount(),
-		PlanDepth:  plan.MaxDepth(),
-		Tables:     len(plan.Tables()),
+		PlanNodes:  fe.plan.NodeCount(),
+		PlanDepth:  fe.plan.MaxDepth(),
+		Tables:     len(fe.plan.Tables()),
 	}
 	if e.cache != nil {
 		e.cache.Put(key, p, gen)
 	}
+	e.depositTemplate(fe, gen)
 	return p, gen, nil
 }
 
@@ -291,35 +429,38 @@ func (e *Engine) predictKeyCtx(ctx context.Context, sql, key string) (Prediction
 		e.tel.Expired.Inc()
 		return Prediction{}, 0, &ExpiredError{}
 	}
-	plan, err := logicalplan.PlanSQL(sql)
+	fe, err := e.resolveSQL(sql)
 	if err != nil {
 		return Prediction{}, 0, fmt.Errorf("parse: %w", err)
 	}
-	tr := &workload.Trace{SQL: sql, Plan: plan, Template: -1}
-	y, gen, norm, err := e.submitCtx(ctx, tr, key)
+	tr := &workload.Trace{SQL: sql, Plan: fe.plan, Template: -1}
+	y, gen, norm, err := e.submitCtx(ctx, tr, key, fe.enc, fe.encGen)
 	if err != nil {
 		return Prediction{}, 0, err
 	}
 	p := Prediction{
 		CPUMinutes: norm.Denormalize(y),
 		Normalized: y,
-		PlanNodes:  plan.NodeCount(),
-		PlanDepth:  plan.MaxDepth(),
-		Tables:     len(plan.Tables()),
+		PlanNodes:  fe.plan.NodeCount(),
+		PlanDepth:  fe.plan.MaxDepth(),
+		Tables:     len(fe.plan.Tables()),
 	}
 	if e.cache != nil {
 		e.cache.Put(key, p, gen)
 	}
+	e.depositTemplate(fe, gen)
 	return p, gen, nil
 }
 
 // submit enqueues a planned trace and blocks for its prediction. When the
 // queue is saturated or the engine is closed it degrades to the serialised
-// single-query path instead of blocking or failing.
-func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64, workload.Normalizer) {
+// single-query path instead of blocking or failing. enc/encGen carry a
+// template-cache featurization into the job; the serialised fallback ignores
+// them and re-encodes from the plan, byte-identically.
+func (e *Engine) submit(tr *workload.Trace, key string, enc any, encGen int64) (float64, int64, workload.Normalizer) {
 	e.mu.RLock()
 	if !e.closed {
-		job := &predictJob{trace: tr, key: key, done: make(chan predictResult, 1)}
+		job := &predictJob{trace: tr, key: key, enc: enc, encGen: encGen, done: make(chan predictResult, 1)}
 		select {
 		case e.jobs <- job:
 			e.mu.RUnlock()
@@ -338,10 +479,10 @@ func (e *Engine) submit(tr *workload.Trace, key string) (float64, int64, workloa
 // model runs, so an expired request never occupies a model slot. A result
 // that is already delivered when the deadline fires is still returned
 // rather than wasted.
-func (e *Engine) submitCtx(ctx context.Context, tr *workload.Trace, key string) (float64, int64, workload.Normalizer, error) {
+func (e *Engine) submitCtx(ctx context.Context, tr *workload.Trace, key string, enc any, encGen int64) (float64, int64, workload.Normalizer, error) {
 	e.mu.RLock()
 	if !e.closed {
-		job := &predictJob{ctx: ctx, trace: tr, key: key, done: make(chan predictResult, 1)}
+		job := &predictJob{ctx: ctx, trace: tr, key: key, enc: enc, encGen: encGen, done: make(chan predictResult, 1)}
 		select {
 		case e.jobs <- job:
 			e.mu.RUnlock()
@@ -505,14 +646,25 @@ func (e *Engine) flush(batch []*predictJob) {
 	// The encode fan-out is pure and runs outside the lock, but the model it
 	// encodes against must be pinned: a full-bundle roll can replace the
 	// replica (and its pipeline) between here and the locked section below.
+	// Jobs that arrived with a template-cache featurization (enc already set)
+	// skip the fan-out; their validity is decided per job under the lock.
 	e.pred.mu.Lock()
 	encModel := e.pred.Model
 	e.pred.mu.Unlock()
-	ce, fanOut := encModel.(concurrentEncoder)
-	fanOut = fanOut && len(uniq) > 1
-	if fanOut {
-		var wg sync.WaitGroup
+	ce, canEncode := encModel.(concurrentEncoder)
+	var fanned []*predictJob
+	if canEncode {
 		for _, j := range uniq {
+			if j.enc == nil {
+				fanned = append(fanned, j)
+			}
+		}
+	}
+	// A lone un-encoded job gains nothing from a goroutine hop; Prepare
+	// handles it under the lock, as the pre-template-cache engine did.
+	if len(fanned) > 1 {
+		var wg sync.WaitGroup
+		for _, j := range fanned {
 			wg.Add(1)
 			go func(j *predictJob) {
 				defer wg.Done()
@@ -525,18 +677,30 @@ func (e *Engine) flush(batch []*predictJob) {
 	gen := e.weightGen.Load()
 	norm := e.pred.Norm
 	m := e.pred.Model
-	// If a replica swap landed between the encode fan-out and this critical
-	// section, the pre-computed encodings belong to the old pipeline: discard
-	// them and let the new model prepare (re-encode) the batch itself, so the
-	// outputs — and the generation tag read above — are entirely the new
-	// identity's.
-	if fanOut && m == encModel {
+	// Adopt each pre-computed encoding only while it is provably the current
+	// identity's: a fan-out encoding is valid iff the model that encoded is
+	// the model about to predict (a replica swap in between retires it), and
+	// a template-cache encoding (encGen != 0) is valid iff its generation is
+	// still the one serving — the generation advances under this same lock,
+	// atomically with every swap and segment invalidation. Everything not
+	// adopted is re-encoded by Prepare from the job's exact plan (on a
+	// template hit, the rebound plan carrying the request's own literals), so
+	// every fallback stays byte-identical.
+	if canEncode {
 		for _, j := range uniq {
-			ce.AdoptEncoding(j.trace, j.enc)
+			if j.enc == nil {
+				continue
+			}
+			if j.encGen != 0 {
+				if j.encGen == gen {
+					ce.AdoptEncoding(j.trace, j.enc)
+				}
+			} else if m == encModel {
+				ce.AdoptEncoding(j.trace, j.enc)
+			}
 		}
-	} else {
-		m.Prepare(traces)
 	}
+	m.Prepare(traces)
 	// The outputs land in a batcher-owned slice either way: PredictInto
 	// writes them there directly (no model-owned tensor escapes the lock,
 	// and a warmed-up arena-backed model allocates nothing), and the legacy
@@ -585,13 +749,19 @@ func (e *Engine) Snapshot() telemetry.ShardSnapshot {
 	if e.convCache != nil {
 		subEntries, subBytes = e.convCache.Stats()
 	}
+	tmplEntries, tmplBytes := 0, int64(0)
+	if e.tmplCache != nil {
+		tmplEntries, tmplBytes = e.tmplCache.Stats()
+	}
 	return e.tel.Snapshot(telemetry.ShardGauges{
-		Queued:         len(e.jobs),
-		CacheEntries:   entries,
-		SubtreeEntries: subEntries,
-		SubtreeBytes:   subBytes,
-		Generation:     e.weightGen.Load(),
-		Quantized:      e.quantized,
+		Queued:          len(e.jobs),
+		CacheEntries:    entries,
+		SubtreeEntries:  subEntries,
+		SubtreeBytes:    subBytes,
+		TemplateEntries: tmplEntries,
+		TemplateBytes:   tmplBytes,
+		Generation:      e.weightGen.Load(),
+		Quantized:       e.quantized,
 	})
 }
 

@@ -20,6 +20,16 @@ import (
 // semantics, so canonicalisation never merges queries it cannot prove
 // identical.
 func CanonicalSQL(sql string) string {
+	if canonicalAlready(sql) {
+		return sql
+	}
+	return canonicalizeSQL(sql)
+}
+
+// canonicalizeSQL is the rewriting path of CanonicalSQL: one pass through a
+// builder. Split out so the fast path's agreement with it is testable —
+// canonicalAlready(sql) must hold exactly when canonicalizeSQL(sql) == sql.
+func canonicalizeSQL(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
 	inString := false
@@ -65,6 +75,46 @@ func CanonicalSQL(sql string) string {
 		}
 	}
 	return b.String()
+}
+
+// canonicalAlready reports whether CanonicalSQL would return sql unchanged,
+// so the dominant case — clients sending single-line SQL with single spaces —
+// runs the canonicalisation as a read-only scan with zero allocations. The
+// conditions mirror the rewriter exactly: canonical text has no leading or
+// trailing space, and outside single-quoted strings no tab/newline/CR, no
+// adjacent spaces and no `--` comment opener.
+func canonicalAlready(sql string) bool {
+	if sql == "" {
+		return true
+	}
+	if sql[0] == ' ' || sql[len(sql)-1] == ' ' {
+		return false
+	}
+	inString := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inString {
+			if c == '\'' {
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '\t', '\n', '\r':
+			return false
+		case ' ':
+			if i+1 < len(sql) && sql[i+1] == ' ' {
+				return false
+			}
+		case '-':
+			if i+1 < len(sql) && sql[i+1] == '-' {
+				return false
+			}
+		case '\'':
+			inString = true
+		}
+	}
+	return true
 }
 
 // predictionCache is a thread-safe LRU of finished predictions keyed by

@@ -106,3 +106,42 @@ func TestCanonicalSQLPreservesTokenStream(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonicalFastPathAgrees pins the zero-allocation fast path to the
+// rewriting path over the same adversarial corpus: canonicalAlready must
+// claim a query exactly when the rewriter would return it unchanged, on both
+// the raw generated queries and their canonical forms.
+func TestCanonicalFastPathAgrees(t *testing.T) {
+	check := func(i int, sql string) {
+		t.Helper()
+		rewritten := canonicalizeSQL(sql)
+		if got, want := canonicalAlready(sql), rewritten == sql; got != want {
+			t.Fatalf("case %d: canonicalAlready(%q) = %v, rewriter %s",
+				i, sql, got, map[bool]string{true: "agrees", false: "disagrees"}[want])
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		sql := genQuery(rng)
+		check(i, sql)
+		check(i, canonicalizeSQL(sql))
+	}
+}
+
+// TestCanonicalSQLZeroAllocs asserts the hoisted-allocation contract: a
+// query already in canonical form — the steady-state shape every repeat
+// client sends — passes through CanonicalSQL without allocating.
+func TestCanonicalSQLZeroAllocs(t *testing.T) {
+	sql := "SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > 42 AND b < 7 ORDER BY a LIMIT 3"
+	if CanonicalSQL(sql) != sql {
+		t.Fatalf("test query is not canonical: %q", CanonicalSQL(sql))
+	}
+	var sink string
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = CanonicalSQL(sql)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("CanonicalSQL on canonical input allocates %.1f/op, want 0", allocs)
+	}
+}

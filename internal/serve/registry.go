@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"prestroid/internal/api"
+	"prestroid/internal/logicalplan"
 	"prestroid/internal/persist"
 	"prestroid/internal/telemetry"
 )
@@ -198,6 +199,15 @@ func (en *ModelEntry) PredictSQLGenCtx(ctx context.Context, sql string) (Predict
 	}
 	p, g, err := live.PredictSQLGenCtx(ctx, sql)
 	return p, g, live.Kernel(), err
+}
+
+// ExplainSQL resolves a query to its logical plan through the live engine's
+// template front end. Plans are weight-independent, so a staged canary or
+// shadow never changes the answer — explain always warms the live engine's
+// template segments, the ones the bulk of prediction traffic hits.
+func (en *ModelEntry) ExplainSQL(sql string) (*logicalplan.Node, error) {
+	live, _ := en.roll()
+	return live.ExplainSQL(sql)
 }
 
 // canaryBucket maps a canonical key to a stable bucket in [0,100). The FNV

@@ -90,6 +90,13 @@ func (e *Engine) swapWeights(src models.Model, gen int64) error {
 	if e.convCache != nil {
 		e.convCache.Invalidate(gen)
 	}
+	// Template featurizations likewise: a weight-only swap keeps the pipeline,
+	// but the generation contract ("encGen == gen ⟹ the entry's identity is
+	// the serving identity") is what lets flush adopt cached trees without
+	// inspecting pipelines, so the segment rolls with everything else.
+	if e.tmplCache != nil {
+		e.tmplCache.Invalidate(gen)
+	}
 	return nil
 }
 
@@ -123,6 +130,12 @@ func (e *Engine) swapReplica(m models.Model, pipe *models.Pipeline, norm workloa
 		if cs, ok := m.(convCacheSetter); ok {
 			cs.SetConvCache(e.convCache)
 		}
+	}
+	// Cached template featurizations were built by the outgoing pipeline;
+	// flush them under the same critical section so no stale encoding can be
+	// rebound — or deposited — against the new identity.
+	if e.tmplCache != nil {
+		e.tmplCache.Invalidate(gen)
 	}
 	// The kernel mode likewise outlives the replica: re-quantise the incoming
 	// model (packing its int8 tables under this same critical section) and

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/subtle"
 	"encoding/json"
@@ -332,16 +333,35 @@ const maxBodyBytes = 1 << 20
 // carries file paths and roll parameters.
 const maxReloadBodyBytes = 4 << 10
 
+// bodyBufPool recycles the read buffer of decodeJSONBody across requests:
+// a per-request json.Decoder allocates its own scratch buffer every call,
+// which under predict load is pure garbage. Buffers that ballooned past the
+// SQL body cap are dropped rather than pooled, so one pathological request
+// cannot pin a large buffer for the life of the pool.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // decodeJSONBody decodes a bounded JSON request body into v, mapping an
-// overflow to 413 and any other malformed body to 400.
+// overflow to 413 and any other malformed body to 400. The body is read
+// through a pooled buffer and unmarshalled in place — no per-request decoder
+// state.
 func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, limit)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxBodyBytes {
+			buf.Reset()
+			bodyBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			return http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
 		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
 	return 0, nil
@@ -552,13 +572,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, codeForStatus(code), err)
 		return
 	}
-	// Explain never runs the model, but a named identity is still validated
-	// so a typo fails loudly instead of silently explaining under the
-	// default.
-	if en := s.resolveModel(w, req.Model); en == nil {
+	// Explain never runs the model, but it routes through the identity's
+	// engine anyway: the template front end turns repeated explain shapes
+	// into cached rebinds, and the skeletons it deposits pre-warm the same
+	// per-shard segments predictions hit. A named identity is also validated
+	// this way, so a typo fails loudly instead of silently explaining under
+	// the default.
+	en := s.resolveModel(w, req.Model)
+	if en == nil {
 		return
 	}
-	plan, err := logicalplan.PlanSQL(req.SQL)
+	plan, err := en.ExplainSQL(req.SQL)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, err)
 		return
@@ -893,6 +917,10 @@ func engineStatsFrom(e telemetry.EngineSnapshot) api.EngineStats {
 		SubtreeMisses:    tot.SubtreeMisses,
 		SubtreeEntries:   tot.SubtreeEntries,
 		SubtreeBytes:     tot.SubtreeBytes,
+		TemplateHits:     tot.TemplateHits,
+		TemplateMisses:   tot.TemplateMisses,
+		TemplateEntries:  tot.TemplateEntries,
+		TemplateBytes:    tot.TemplateBytes,
 		Shed:             tot.Shed,
 		Expired:          tot.Expired,
 		MaxEstWaitMillis: tot.MaxEstWaitMicros / 1e3,
@@ -913,6 +941,9 @@ func engineStatsFrom(e telemetry.EngineSnapshot) api.EngineStats {
 	if lookups := tot.SubtreeHits + tot.SubtreeMisses; lookups > 0 {
 		st.SubtreeHitRate = float64(tot.SubtreeHits) / float64(lookups)
 	}
+	if lookups := tot.TemplateHits + tot.TemplateMisses; lookups > 0 {
+		st.TemplateHitRate = float64(tot.TemplateHits) / float64(lookups)
+	}
 	for _, m := range e.Shards {
 		sh := ShardStats{
 			Shard:             m.Shard,
@@ -925,6 +956,10 @@ func engineStatsFrom(e telemetry.EngineSnapshot) api.EngineStats {
 			SubtreeMisses:     m.SubtreeMisses,
 			SubtreeEntries:    m.SubtreeEntries,
 			SubtreeBytes:      m.SubtreeBytes,
+			TemplateHits:      m.TemplateHits,
+			TemplateMisses:    m.TemplateMisses,
+			TemplateEntries:   m.TemplateEntries,
+			TemplateBytes:     m.TemplateBytes,
 			Shed:              m.Shed,
 			Expired:           m.Expired,
 			ServiceTimeMillis: m.ServiceTimeMicros / 1e3,

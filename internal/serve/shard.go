@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prestroid/internal/logicalplan"
 	"prestroid/internal/models"
 	"prestroid/internal/telemetry"
 )
@@ -129,6 +130,9 @@ func newShardedEngineAt(preds []*Predictor, cfg Config, gen int64) *ShardedEngin
 	}
 	if cfg.SubtreeCacheSize > 0 {
 		per.SubtreeCacheSize = (cfg.SubtreeCacheSize + len(preds) - 1) / len(preds)
+	}
+	if cfg.TemplateCacheSize > 0 {
+		per.TemplateCacheSize = (cfg.TemplateCacheSize + len(preds) - 1) / len(preds)
 	}
 	se := &ShardedEngine{
 		shards:           make([]*Engine, len(preds)),
@@ -255,6 +259,16 @@ func (se *ShardedEngine) PredictSQLGen(sql string) (Prediction, int64, error) {
 		home.cachePut(key, p, g)
 	}
 	return p, g, err
+}
+
+// ExplainSQL resolves a query to its logical plan through the home shard's
+// template front end: a cached template skips lex and parse, a miss deposits
+// the skeleton so explain traffic and prediction traffic warm the same
+// per-shard segments. No saturation detour — planning never touches a
+// batcher queue, so there is nothing to route around.
+func (se *ShardedEngine) ExplainSQL(sql string) (*logicalplan.Node, error) {
+	key := CanonicalSQL(sql)
+	return se.shards[se.shardOf(key)].PlanOnly(sql)
 }
 
 // Snapshot returns the engine's full telemetry state in one pass: every

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prestroid/internal/models"
+	"prestroid/internal/sqlparse"
+	"prestroid/internal/telemetry"
+)
+
+// tmplCfg is the engine configuration every template front-end test uses:
+// prediction and sub-tree caches off, so a repeated query exercises the
+// template rebind path instead of short-circuiting on a cached answer.
+func tmplCfg() Config {
+	return Config{
+		MaxBatch:          8,
+		MaxWait:           100 * time.Microsecond,
+		CacheSize:         0,
+		SubtreeCacheSize:  0,
+		TemplateCacheSize: 256,
+	}
+}
+
+// templateQueryGens produce literal variants of a fixed template each — the
+// unique-literal/shared-template workload the front end exists for. The set
+// covers every literal kind the rebinder handles (integers, negatives,
+// floats, strings, LIMIT counts) plus out-of-vocabulary identifiers and
+// tables the pipeline never saw in training, where featurization degenerates
+// to OOV/default rows and byte-identity is easiest to get wrong.
+var templateQueryGens = []func(r *rand.Rand) string{
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > %d AND b < %d ORDER BY a LIMIT %d",
+			r.Intn(1000), r.Intn(97)+1, r.Intn(19)+1)
+	},
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("SELECT a FROM t WHERE a > -%d AND b < %.3f", r.Intn(500)+1, r.Float64()*100)
+	},
+	func(r *rand.Rand) string {
+		names := []string{"alice", "bob", "carol", "it''s"}
+		return fmt.Sprintf("SELECT Name FROM users WHERE Name = '%s' AND age > %d",
+			names[r.Intn(len(names))], r.Intn(90))
+	},
+	func(r *rand.Rand) string {
+		// Unknown table and columns: every token is out-of-vocabulary.
+		return fmt.Sprintf("SELECT zz_unseen FROM never_trained_tbl WHERE zz_unseen > %d LIMIT %d",
+			r.Intn(10000), r.Intn(7)+1)
+	},
+}
+
+// assertTemplateByteIdentical drives one predictor through an engine with
+// the template cache on and asserts every answer — first sight (the miss
+// that deposits), immediate replay (the rebind hit) and fresh literal
+// variants of the now-cached template — is byte-identical to the serialised
+// uncached reference.
+func assertTemplateByteIdentical(t *testing.T, pred *Predictor) {
+	t.Helper()
+	e := NewEngine(pred, tmplCfg())
+	t.Cleanup(e.Close)
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 25; round++ {
+		for gi, gen := range templateQueryGens {
+			sql := gen(rng)
+			want, err := pred.PredictSQL(sql)
+			if err != nil {
+				t.Fatalf("gen %d: reference failed on %q: %v", gi, sql, err)
+			}
+			first, err := e.PredictSQL(sql)
+			if err != nil {
+				t.Fatalf("gen %d: engine failed on %q: %v", gi, sql, err)
+			}
+			if first != want {
+				t.Fatalf("gen %d first sight of %q: engine %+v != reference %+v", gi, sql, first, want)
+			}
+			replay, err := e.PredictSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replay != want {
+				t.Fatalf("gen %d replay of %q: engine %+v != reference %+v", gi, sql, replay, want)
+			}
+		}
+	}
+	snap := e.Snapshot()
+	if snap.TemplateHits == 0 {
+		t.Fatal("no template hits recorded: the rebind path was never exercised")
+	}
+	if snap.TemplateEntries == 0 || snap.TemplateBytes == 0 {
+		t.Fatalf("template gauges entries=%d bytes=%d, want both > 0", snap.TemplateEntries, snap.TemplateBytes)
+	}
+}
+
+// TestTemplatePredictByteIdentical is the serve-level property test of the
+// tentpole contract: template-extract → rebind produces predictions
+// byte-identical to the full parse/plan/featurize path, over a generated
+// corpus of literal variants, in the default word2vec featurization.
+func TestTemplatePredictByteIdentical(t *testing.T) {
+	assertTemplateByteIdentical(t, newTestPredictor(t))
+}
+
+// TestTemplatePredictByteIdenticalHashed repeats the property under hashed
+// predicate featurization — the one literal-sensitive encoder mode, where a
+// template hit must re-featurize the predicate rows instead of replaying
+// cached ones.
+func TestTemplatePredictByteIdenticalHashed(t *testing.T) {
+	base := newTestPredictor(t)
+	enc := *base.Pipe.Enc
+	enc.HashedPredicates = true
+	pipe := &models.Pipeline{W2V: base.Pipe.W2V, Enc: &enc}
+	m := models.NewPrestroid(testModelConfig(), pipe)
+	alignEnvKernel(m)
+	assertTemplateByteIdentical(t, &Predictor{Model: m, Pipe: pipe, Norm: base.Norm})
+}
+
+// TestTemplateRebindSurvivesRoll pins byte-identity across a live weight
+// roll: the template entry deposited under the old generation must not leak
+// its stale featurization into post-roll answers.
+func TestTemplateRebindSurvivesRoll(t *testing.T) {
+	pred := newTestPredictor(t)
+	cfg := tmplCfg()
+	cfg.Replicas = 1
+	se := NewShardedEngine(Replicas(pred, cfg.Replicas), cfg)
+	t.Cleanup(se.Close)
+
+	variant := func(n int) string {
+		return fmt.Sprintf("SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > %d AND b < %d ORDER BY a LIMIT %d",
+			n, n%97+1, n%19+1)
+	}
+	// Warm the template under generation 1 and take a rebind-path hit.
+	if _, _, err := se.PredictSQLGen(variant(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := se.PredictSQLGen(variant(2)); err != nil {
+		t.Fatal(err)
+	}
+	if hits := se.Snapshot().Totals().TemplateHits; hits == 0 {
+		t.Fatal("template was not hit before the roll")
+	}
+
+	bundle, reference := perturbedBundle(t, pred, 0.25)
+	gen, err := se.Reload(bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("reload generation = %d, want 2", gen)
+	}
+	if entries := se.Snapshot().Totals().TemplateEntries; entries != 0 {
+		t.Fatalf("template cache holds %d entries after the roll, want 0", entries)
+	}
+
+	// Fresh literals re-deposit under generation 2; replays hit the new
+	// entry. Every answer must match the new-weight serialised reference.
+	for _, n := range []int{3, 4, 3, 1} {
+		want, err := reference.PredictSQL(variant(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, g, err := se.PredictSQLGen(variant(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != 2 {
+			t.Fatalf("post-roll generation = %d, want 2", g)
+		}
+		if got != want {
+			t.Fatalf("post-roll %q: engine %+v != new-bundle reference %+v", variant(n), got, want)
+		}
+	}
+}
+
+// TestTemplateExplainWarmsPredict pins the explain/predict cache sharing:
+// PlanOnly deposits a skeleton that turns the first prediction of the
+// template into a hit, and that prediction upgrades the entry with a
+// featurization that later predictions rebind.
+func TestTemplateExplainWarmsPredict(t *testing.T) {
+	pred := newTestPredictor(t)
+	e := NewEngine(pred, tmplCfg())
+	t.Cleanup(e.Close)
+
+	if _, err := e.PlanOnly("SELECT a FROM t WHERE a > 1"); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.TemplateMisses != 1 || snap.TemplateEntries != 1 {
+		t.Fatalf("after explain: misses=%d entries=%d, want 1/1", snap.TemplateMisses, snap.TemplateEntries)
+	}
+	skeletonBytes := snap.TemplateBytes
+
+	want, err := pred.PredictSQL("SELECT a FROM t WHERE a > 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.PredictSQL("SELECT a FROM t WHERE a > 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("explain-warmed predict %+v != reference %+v", got, want)
+	}
+	snap = e.Snapshot()
+	if snap.TemplateHits != 1 {
+		t.Fatalf("explain-warmed predict recorded %d hits, want 1", snap.TemplateHits)
+	}
+	if snap.TemplateBytes <= skeletonBytes {
+		t.Fatalf("prediction did not enrich the skeleton entry: bytes %d -> %d", skeletonBytes, snap.TemplateBytes)
+	}
+}
+
+// TestTemplateCacheCrossGenerationDeposit pins the deposit guard at the
+// segment level: an encoding tagged with any generation but the one the
+// segment serves is dropped entirely, including deposits racing an
+// Invalidate.
+func TestTemplateCacheCrossGenerationDeposit(t *testing.T) {
+	var hits, misses telemetry.Counter
+	c := newTemplateCache(8, 1, &hits, &misses)
+	stmt, err := sqlparse.Parse("SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Put("k1", stmt, nil, 2) // future generation: dropped
+	if _, _, ok := c.Get("k1"); ok {
+		t.Fatal("cross-generation deposit was admitted")
+	}
+	c.Put("k1", stmt, nil, 1)
+	if _, _, ok := c.Get("k1"); !ok {
+		t.Fatal("current-generation deposit was dropped")
+	}
+
+	c.Invalidate(2)
+	if n, b := c.Stats(); n != 0 || b != 0 {
+		t.Fatalf("after invalidate: entries=%d bytes=%d, want 0/0", n, b)
+	}
+	c.Put("k2", stmt, nil, 1) // in-flight deposit from the retired generation
+	if _, _, ok := c.Get("k2"); ok {
+		t.Fatal("stale-generation deposit admitted after invalidate")
+	}
+	c.Put("k2", stmt, nil, 2)
+	if _, g, ok := c.Get("k2"); !ok || g != 2 {
+		t.Fatalf("new-generation deposit: ok=%v gen=%d, want true/2", ok, g)
+	}
+}
+
+// TestTemplateCacheConcurrentReloadRoll hammers the template front end from
+// several goroutines while weight rolls land underneath it — the -race
+// check on cache invalidation during concurrent rolls. Every answer must
+// match the serialised reference of the generation it is tagged with;
+// anything else means a stale template featurization crossed a roll.
+func TestTemplateCacheConcurrentReloadRoll(t *testing.T) {
+	pred := newTestPredictor(t)
+	cfg := tmplCfg()
+	cfg.Replicas = 2
+	se := NewShardedEngine(Replicas(pred, cfg.Replicas), cfg)
+	t.Cleanup(se.Close)
+
+	variant := func(n int) string {
+		return fmt.Sprintf("SELECT a, b FROM t JOIN u ON t.id = u.id WHERE a > %d AND b < %d ORDER BY a LIMIT %d",
+			n, n%97+1, n%19+1)
+	}
+	queries := make([]string, 6)
+	for i := range queries {
+		queries[i] = variant(i)
+	}
+
+	// One serialised reference per generation the roll sequence will serve.
+	const lastGen = 4
+	refs := map[int64]*Predictor{1: pred}
+	bundles := map[int64][]byte{}
+	for g := int64(2); g <= lastGen; g++ {
+		b, ref := perturbedBundle(t, pred, 0.2*float64(g-1))
+		bundles[g], refs[g] = b, ref
+	}
+	expected := map[int64][]Prediction{}
+	for g, ref := range refs {
+		preds := make([]Prediction, len(queries))
+		for i, q := range queries {
+			p, err := ref.PredictSQL(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds[i] = p
+		}
+		expected[g] = preds
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(len(queries))
+				p, g, err := se.PredictSQLGen(queries[i])
+				if err != nil {
+					errc <- fmt.Errorf("predict: %w", err)
+					return
+				}
+				want, ok := expected[g]
+				if !ok {
+					errc <- fmt.Errorf("prediction tagged unknown generation %d", g)
+					return
+				}
+				if p != want[i] {
+					errc <- fmt.Errorf("generation %d answer %+v != reference %+v for %q", g, p, want[i], queries[i])
+					return
+				}
+			}
+		}(int64(w) + 100)
+	}
+	for g := int64(2); g <= lastGen; g++ {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := se.Reload(bytes.NewReader(bundles[g])); err != nil {
+			t.Fatalf("reload to generation %d: %v", g, err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if se.Generation() != lastGen {
+		t.Fatalf("final generation = %d, want %d", se.Generation(), lastGen)
+	}
+}

@@ -135,6 +135,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		ms, func(s ShardSnapshot) int64 { return int64(s.SubtreeEntries) })
 	p.shardSeries("prestroid_shard_subtree_cache_bytes", "Payload bytes held by the sub-tree cache, per shard.", "gauge",
 		ms, func(s ShardSnapshot) int64 { return s.SubtreeBytes })
+	p.shardSeries("prestroid_shard_template_cache_hits_total", "Front-end passes replaced by a prepared-template rebind, per shard.", "counter",
+		ms, func(s ShardSnapshot) int64 { return s.TemplateHits })
+	p.shardSeries("prestroid_shard_template_cache_misses_total", "Full lex/parse/plan/featurize passes (template-cache misses), per shard.", "counter",
+		ms, func(s ShardSnapshot) int64 { return s.TemplateMisses })
+	p.shardSeries("prestroid_shard_template_cache_entries", "Live prepared-template entries, per shard.", "gauge",
+		ms, func(s ShardSnapshot) int64 { return int64(s.TemplateEntries) })
+	p.shardSeries("prestroid_shard_template_cache_bytes", "Payload bytes held by the prepared-template cache, per shard.", "gauge",
+		ms, func(s ShardSnapshot) int64 { return s.TemplateBytes })
 	p.shardSeries("prestroid_shard_queue_depth", "Jobs waiting in the batcher queue, per shard.", "gauge",
 		ms, func(s ShardSnapshot) int64 { return int64(s.Queued) })
 	p.shardSeries("prestroid_shard_generation", "Predictor-identity generation serving on each shard.", "gauge",

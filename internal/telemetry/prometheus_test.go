@@ -65,11 +65,13 @@ func goldenSnapshot() Snapshot {
 						{Shard: 0, Batches: 5, Coalesced: 9, BatchSizes: bs0.Snapshot(),
 							CacheHits: 7, CacheMisses: 5, CacheEntries: 4,
 							SubtreeHits: 11, SubtreeMisses: 6, SubtreeEntries: 3, SubtreeBytes: 384,
+							TemplateHits: 9, TemplateMisses: 4, TemplateEntries: 2, TemplateBytes: 512,
 							Shed: 3, Expired: 1, ServiceTimeMicros: 1500, EstWaitMicros: 1500,
 							Queued: 1, Generation: 2, Quantized: true, QuantMaxError: 0.0042},
 						{Shard: 1, Batches: 2, Coalesced: 2, BatchSizes: bs1.Snapshot(),
 							CacheMisses: 2, CacheEntries: 2,
 							SubtreeMisses: 2, SubtreeEntries: 2, SubtreeBytes: 256,
+							TemplateMisses: 1, TemplateEntries: 1, TemplateBytes: 128,
 							Generation: 2, Quantized: true},
 					},
 				},
@@ -248,6 +250,26 @@ prestroid_shard_subtree_cache_entries{model="beta",shard="0"} 0
 prestroid_shard_subtree_cache_bytes{model="default",shard="0"} 384
 prestroid_shard_subtree_cache_bytes{model="default",shard="1"} 256
 prestroid_shard_subtree_cache_bytes{model="beta",shard="0"} 0
+# HELP prestroid_shard_template_cache_hits_total Front-end passes replaced by a prepared-template rebind, per shard.
+# TYPE prestroid_shard_template_cache_hits_total counter
+prestroid_shard_template_cache_hits_total{model="default",shard="0"} 9
+prestroid_shard_template_cache_hits_total{model="default",shard="1"} 0
+prestroid_shard_template_cache_hits_total{model="beta",shard="0"} 0
+# HELP prestroid_shard_template_cache_misses_total Full lex/parse/plan/featurize passes (template-cache misses), per shard.
+# TYPE prestroid_shard_template_cache_misses_total counter
+prestroid_shard_template_cache_misses_total{model="default",shard="0"} 4
+prestroid_shard_template_cache_misses_total{model="default",shard="1"} 1
+prestroid_shard_template_cache_misses_total{model="beta",shard="0"} 0
+# HELP prestroid_shard_template_cache_entries Live prepared-template entries, per shard.
+# TYPE prestroid_shard_template_cache_entries gauge
+prestroid_shard_template_cache_entries{model="default",shard="0"} 2
+prestroid_shard_template_cache_entries{model="default",shard="1"} 1
+prestroid_shard_template_cache_entries{model="beta",shard="0"} 0
+# HELP prestroid_shard_template_cache_bytes Payload bytes held by the prepared-template cache, per shard.
+# TYPE prestroid_shard_template_cache_bytes gauge
+prestroid_shard_template_cache_bytes{model="default",shard="0"} 512
+prestroid_shard_template_cache_bytes{model="default",shard="1"} 128
+prestroid_shard_template_cache_bytes{model="beta",shard="0"} 0
 # HELP prestroid_shard_queue_depth Jobs waiting in the batcher queue, per shard.
 # TYPE prestroid_shard_queue_depth gauge
 prestroid_shard_queue_depth{model="default",shard="0"} 1

@@ -6,17 +6,19 @@ package telemetry
 // generation) are sampled by the owner at snapshot time rather than
 // mirrored on every change.
 type ShardGroup struct {
-	Batches       Counter // coalesced groups flushed
-	Coalesced     Counter // queries served through those groups
-	CacheHits     Counter
-	CacheMisses   Counter
-	SubtreeHits   Counter    // pooled-conv partial results served from cache
-	SubtreeMisses Counter    // sub-tree convolutions actually computed
-	Shed          Counter    // queries refused by bounded-wait admission
-	Expired       Counter    // queries dropped because their deadline passed
-	BatchSizes    *Histogram // deduplicated rows per flushed batch
-	QuantErr      MaxGauge   // worst absolute int8 quantisation error observed
-	ServiceTime   EWMA       // per-query drain time through the batcher, microseconds
+	Batches        Counter // coalesced groups flushed
+	Coalesced      Counter // queries served through those groups
+	CacheHits      Counter
+	CacheMisses    Counter
+	SubtreeHits    Counter    // pooled-conv partial results served from cache
+	SubtreeMisses  Counter    // sub-tree convolutions actually computed
+	TemplateHits   Counter    // front-end passes replaced by a template rebind
+	TemplateMisses Counter    // full lex/parse/plan/featurize passes
+	Shed           Counter    // queries refused by bounded-wait admission
+	Expired        Counter    // queries dropped because their deadline passed
+	BatchSizes     *Histogram // deduplicated rows per flushed batch
+	QuantErr       MaxGauge   // worst absolute int8 quantisation error observed
+	ServiceTime    EWMA       // per-query drain time through the batcher, microseconds
 }
 
 // NewShardGroup builds a shard group with the standard batch-size buckets.
@@ -36,12 +38,14 @@ func (g *ShardGroup) EstWaitMicros(queued int) float64 {
 // snapshot time — state that lives in other structures (queue, caches,
 // weight generation) rather than in the counter group.
 type ShardGauges struct {
-	Queued         int
-	CacheEntries   int
-	SubtreeEntries int
-	SubtreeBytes   int64
-	Generation     int64
-	Quantized      bool
+	Queued          int
+	CacheEntries    int
+	SubtreeEntries  int
+	SubtreeBytes    int64
+	TemplateEntries int
+	TemplateBytes   int64
+	Generation      int64
+	Quantized       bool
 }
 
 // Snapshot folds the group's counters with the gauges the owner sampled at
@@ -58,6 +62,10 @@ func (g *ShardGroup) Snapshot(gauges ShardGauges) ShardSnapshot {
 		SubtreeMisses:     g.SubtreeMisses.Load(),
 		SubtreeEntries:    gauges.SubtreeEntries,
 		SubtreeBytes:      gauges.SubtreeBytes,
+		TemplateHits:      g.TemplateHits.Load(),
+		TemplateMisses:    g.TemplateMisses.Load(),
+		TemplateEntries:   gauges.TemplateEntries,
+		TemplateBytes:     gauges.TemplateBytes,
 		Shed:              g.Shed.Load(),
 		Expired:           g.Expired.Load(),
 		ServiceTimeMicros: g.ServiceTime.Load(),
@@ -71,17 +79,21 @@ func (g *ShardGroup) Snapshot(gauges ShardGauges) ShardSnapshot {
 
 // ShardSnapshot is one shard's slice of an EngineSnapshot.
 type ShardSnapshot struct {
-	Shard          int
-	Batches        int64
-	Coalesced      int64
-	BatchSizes     HistogramSnapshot
-	CacheHits      int64
-	CacheMisses    int64
-	CacheEntries   int
-	SubtreeHits    int64
-	SubtreeMisses  int64
-	SubtreeEntries int
-	SubtreeBytes   int64
+	Shard           int
+	Batches         int64
+	Coalesced       int64
+	BatchSizes      HistogramSnapshot
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEntries    int
+	SubtreeHits     int64
+	SubtreeMisses   int64
+	SubtreeEntries  int
+	SubtreeBytes    int64
+	TemplateHits    int64
+	TemplateMisses  int64
+	TemplateEntries int
+	TemplateBytes   int64
 	// Shed and Expired count admission refusals and deadline drops charged
 	// to this shard; ServiceTimeMicros and EstWaitMicros are the live EWMA
 	// per-query service time and the queue-depth × service-time wait
@@ -120,18 +132,22 @@ type EngineSnapshot struct {
 // the same per-shard numbers a presenter shows next to it, so the aggregate
 // and the breakdown can never disagree.
 type ShardTotals struct {
-	Batches        int64
-	Coalesced      int64
-	BatchSizes     HistogramSnapshot
-	CacheHits      int64
-	CacheMisses    int64
-	CacheEntries   int
-	SubtreeHits    int64
-	SubtreeMisses  int64
-	SubtreeEntries int
-	SubtreeBytes   int64
-	Shed           int64
-	Expired        int64
+	Batches         int64
+	Coalesced       int64
+	BatchSizes      HistogramSnapshot
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEntries    int
+	SubtreeHits     int64
+	SubtreeMisses   int64
+	SubtreeEntries  int
+	SubtreeBytes    int64
+	TemplateHits    int64
+	TemplateMisses  int64
+	TemplateEntries int
+	TemplateBytes   int64
+	Shed            int64
+	Expired         int64
 	// MaxEstWaitMicros is the worst per-shard wait estimate — the number an
 	// operator compares against -max-est-wait, since admission sheds on the
 	// best candidate shard, not on a fleet average.
@@ -153,6 +169,10 @@ func (e EngineSnapshot) Totals() ShardTotals {
 		t.SubtreeMisses += s.SubtreeMisses
 		t.SubtreeEntries += s.SubtreeEntries
 		t.SubtreeBytes += s.SubtreeBytes
+		t.TemplateHits += s.TemplateHits
+		t.TemplateMisses += s.TemplateMisses
+		t.TemplateEntries += s.TemplateEntries
+		t.TemplateBytes += s.TemplateBytes
 		t.Shed += s.Shed
 		t.Expired += s.Expired
 		if s.EstWaitMicros > t.MaxEstWaitMicros {

@@ -77,32 +77,45 @@ func (t *Tree) Rehash() {
 		hs = make([]uint64, n)
 	}
 	for i := n - 1; i >= 0; i-- {
-		h := uint64(hashSeed)
-		for p, f := range t.Feats.Row(i) {
-			if f == 0 {
-				continue
-			}
-			h = hashMix(h, uint64(p)+1)
-			h = hashMix(h, math.Float64bits(f))
-		}
-		h = hashMix(h, math.Float64bits(t.Votes[i]))
-		if li := t.Left[i]; li >= 0 {
-			h = hashMix(h, hs[li])
-		} else {
-			h = hashMix(h, missingChildHash)
-		}
-		if ri := t.Right[i]; ri >= 0 {
-			h = hashMix(h, hs[ri])
-		} else {
-			h = hashMix(h, missingChildHash)
-		}
-		hs[i] = h
+		hs[i] = nodeDigest(t, i, hs)
 	}
+	t.Hash = rootHash(n, hs)
+}
+
+// nodeDigest computes node i's Merkle digest from its feature row, vote and
+// the already-computed child digests in hs. Shared by Rehash and the
+// incremental Rebinder so the two can never drift.
+func nodeDigest(t *Tree, i int, hs []uint64) uint64 {
+	h := uint64(hashSeed)
+	for p, f := range t.Feats.Row(i) {
+		if f == 0 {
+			continue
+		}
+		h = hashMix(h, uint64(p)+1)
+		h = hashMix(h, math.Float64bits(f))
+	}
+	h = hashMix(h, math.Float64bits(t.Votes[i]))
+	if li := t.Left[i]; li >= 0 {
+		h = hashMix(h, hs[li])
+	} else {
+		h = hashMix(h, missingChildHash)
+	}
+	if ri := t.Right[i]; ri >= 0 {
+		h = hashMix(h, hs[ri])
+	} else {
+		h = hashMix(h, missingChildHash)
+	}
+	return h
+}
+
+// rootHash folds the node count and the root node's digest into the tree
+// hash.
+func rootHash(n int, hs []uint64) uint64 {
 	root := hashMix(hashSeed, uint64(n))
 	if n > 0 {
 		root = hashMix(root, hs[0])
 	}
-	t.Hash = root
+	return root
 }
 
 // flatten is the single tree builder behind FlattenSubTree and FlattenFull:
@@ -145,10 +158,11 @@ func FlattenSubTree(st subtree.SubTree, enc *otp.Encoder, ctx *otp.QueryContext)
 	return flatten(st.Nodes, st.Votes, enc, ctx)
 }
 
-// FlattenFull converts a whole O-T-P tree into a single Tree with every node
-// voting — the representation used by the Prestroid-Full baseline (the tree
-// convolution segment of Neo).
-func FlattenFull(root *otp.Node, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+// BFSNodes enumerates a whole O-T-P tree in breadth-first order — the row
+// order FlattenFull encodes. Exported so callers that need the row ↔ node
+// correspondence (the prepared-template rebind path) see exactly the order
+// the flattener used.
+func BFSNodes(root *otp.Node) []*otp.Node {
 	var nodes []*otp.Node
 	queue := []*otp.Node{root}
 	for len(queue) > 0 {
@@ -165,7 +179,14 @@ func FlattenFull(root *otp.Node, enc *otp.Encoder, ctx *otp.QueryContext) *Tree 
 			queue = append(queue, n.Right)
 		}
 	}
-	return flatten(nodes, nil, enc, ctx)
+	return nodes
+}
+
+// FlattenFull converts a whole O-T-P tree into a single Tree with every node
+// voting — the representation used by the Prestroid-Full baseline (the tree
+// convolution segment of Neo).
+func FlattenFull(root *otp.Node, enc *otp.Encoder, ctx *otp.QueryContext) *Tree {
+	return flatten(BFSNodes(root), nil, enc, ctx)
 }
 
 func childIndex(index map[*otp.Node]int, child *otp.Node) int {

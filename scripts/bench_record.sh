@@ -3,8 +3,9 @@
 # (BenchmarkServePredict, BenchmarkSharded{Distinct,Overlapping}Templates and
 # BenchmarkPrestroidPredictSteady — each in both kernel modes, the quantised
 # variants carry a Quantized suffix and so match the same unanchored
-# patterns — plus the BenchmarkFloatProject/BenchmarkInt8Project kernel
-# microbenchmarks, 5 repeats of 100ms each with -benchmem —
+# patterns — the BenchmarkShardedTemplateCache off/on pair with its >= 1.5x
+# speedup gate, plus the BenchmarkFrontEnd and BenchmarkFloatProject/
+# BenchmarkInt8Project microbenchmarks, 5 repeats of 100ms each with -benchmem —
 # time-based so iteration counts auto-scale from the ~300ns steady
 # micro-benchmark to the ~200µs 16-client fan-outs, whose fixed-count runs
 # flap), record median throughput and minimum allocations per benchmark to a
@@ -39,7 +40,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 GOMAXPROCS=4 GOGC=100 go test -run '^$' \
-  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates|BenchmarkShardedOverlappingTemplates|BenchmarkPrestroidPredictSteady|BenchmarkFloatProject|BenchmarkInt8Project' \
+  -bench 'BenchmarkServePredict|BenchmarkShardedDistinctTemplates|BenchmarkShardedOverlappingTemplates|BenchmarkShardedTemplateCache|BenchmarkFrontEnd|BenchmarkPrestroidPredictSteady|BenchmarkFloatProject|BenchmarkInt8Project' \
   -benchtime 100ms -count 5 -benchmem . | tee "$raw"
 
 python3 - "$raw" "$out" "$tolerance" "$baseline" <<'PY'
@@ -101,15 +102,38 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"recorded {len(best)} benchmarks to {out}")
 
-if not baseline_path:
+failures = []
+
+# Speedup gates: pairs whose ratio is an acceptance criterion in its own
+# right, checked on every run — no baseline file needed, since both legs come
+# from this run on this host. The template-cache gate is the prepared-
+# template front end's >= 1.5x contract on the unique-literal shared-template
+# workload.
+RATIO_GATES = [
+    ("BenchmarkShardedTemplateCache/on", "BenchmarkShardedTemplateCache/off", 1.5),
+]
+for fast, slow, want in RATIO_GATES:
+    if fast not in best or slow not in best:
+        continue
+    got = best[slow]["ns"] / best[fast]["ns"]
+    verdict = "ok" if got >= want else "REGRESSION"
+    print(f"{verdict}: {fast} is {got:.2f}x {slow} (floor {want:.1f}x)")
+    if got < want:
+        failures.append(f"{fast}: {got:.2f}x over {slow} is below the {want:.1f}x floor")
+
+def finish():
+    if failures:
+        sys.exit("benchmark regression:\n  " + "\n  ".join(failures))
+    print("benchmark throughput and allocations within tolerance of baseline")
     sys.exit(0)
+
+if not baseline_path:
+    finish()
 try:
     base = json.load(open(baseline_path))
 except FileNotFoundError:
     print(f"no baseline at {baseline_path}; recording only")
-    sys.exit(0)
-
-failures = []
+    finish()
 for name, entry in base.get("benchmarks", {}).items():
     if name not in best:
         failures.append(f"{name}: present in baseline, missing from this run")
@@ -139,7 +163,5 @@ for name, entry in base.get("benchmarks", {}).items():
         failures.append(
             f"{name}: {got_allocs:,.0f} allocs/op exceeds baseline "
             f"{base_allocs:,.0f} + slack (ceiling {ceil:,.0f})")
-if failures:
-    sys.exit("benchmark regression:\n  " + "\n  ".join(failures))
-print("benchmark throughput and allocations within tolerance of baseline")
+finish()
 PY
